@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+scaled-down measurement window (see DESIGN.md's per-experiment index)
+and prints the corresponding rows/series, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the whole evaluation.  Each benchmark also asserts the
+paper's qualitative shape (who wins, roughly by how much), making the
+suite a regression harness for the reproduction itself.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

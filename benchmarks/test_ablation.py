@@ -1,0 +1,57 @@
+"""Benchmark: ablation study of Gimbal's four design choices.
+
+All four variants run and print; the assertions pin down the
+load-bearing mechanism on this substrate -- the virtual slots.
+Removing them is catastrophic in two distinct ways:
+
+* mixed IO sizes: without the slot bound, the 128 KiB class grabs
+  several times its fair per-worker share;
+* mixed read/write on clean devices: without the outstanding-IO bound
+  the p99 latency multiplies and the write class collapses.
+
+The threshold/bucket/cost ablations degrade more modestly here (their
+failure modes depend on device behaviours our model reproduces more
+gently); their rows are printed for inspection and EXPERIMENTS.md
+discusses them.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import ablations as experiment
+
+
+def test_ablations(benchmark):
+    results = run_once(
+        benchmark,
+        experiment.run,
+        measure_us=600_000.0,
+        warmup_us=300_000.0,
+        workers=8,
+    )
+    print()
+    print(experiment.summarize(results))
+    rows = {(r["case"], r["variant"]): r for r in results["rows"]}
+
+    # Virtual slots, mixed sizes: with slots the per-class shares are
+    # near-equal; without them the large class dominates.
+    full_sizes = rows[("sizes-clean", "full")]["by_group_mbps"]
+    noslot_sizes = rows[("sizes-clean", "no-slots")]["by_group_mbps"]
+    assert noslot_sizes["128KB"] > 2.0 * full_sizes["128KB"]
+    assert abs(full_sizes["128KB"] / 2 - full_sizes["4KB"] / 8) < 0.3 * (
+        full_sizes["4KB"] / 8
+    )
+
+    # Virtual slots, clean R/W: without the bound the tail multiplies
+    # and writers collapse.
+    assert (
+        rows[("rw-clean", "no-slots")]["p99_us"]
+        > 1.5 * rows[("rw-clean", "full")]["p99_us"]
+    )
+    assert (
+        rows[("rw-clean", "no-slots")]["by_group_mbps"]["write"]
+        < 0.8 * rows[("rw-clean", "full")]["by_group_mbps"]["write"]
+    )
+
+    # Every variant still moves data (the ablations degrade, not break).
+    for row in results["rows"]:
+        assert row["total_mbps"] > 50.0

@@ -1,0 +1,26 @@
+"""Benchmark: the Section 6 extension -- Gimbal's techniques on QLC NAND."""
+
+from conftest import run_once
+
+from repro.harness.experiments import ext_qlc as experiment
+
+
+def test_qlc_extension(benchmark):
+    results = run_once(
+        benchmark,
+        experiment.run,
+        measure_us=600_000.0,
+        warmup_us=300_000.0,
+        workers_per_class=8,
+    )
+    print()
+    print(experiment.summarize(results))
+    rows = {r["scheme"]: r for r in results["rows"]}
+    # Gimbal restores the read share the QLC device's heavier GC takes
+    # away under the unmanaged target...
+    assert rows["gimbal"]["read_mbps"] > 1.15 * rows["vanilla"]["read_mbps"]
+    # ...while keeping average read latency below the work-conserving
+    # schemes.
+    assert rows["gimbal"]["read_avg_us"] < rows["flashfq"]["read_avg_us"]
+    # Writers still make progress (no starvation).
+    assert rows["gimbal"]["write_mbps"] > 20.0

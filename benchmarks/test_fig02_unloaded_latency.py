@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 2 (unloaded latency, server vs SmartNIC)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig02_unloaded_latency as experiment
+
+
+def test_fig02(benchmark):
+    results = run_once(benchmark, experiment.run, measure_us=150_000.0)
+    print()
+    print(experiment.summarize(results))
+    rows = {(r["host"], r["op"], r["size_kb"]): r["avg_latency_us"] for r in results["rows"]}
+    # Paper shape 1: latency grows with IO size on both hosts.
+    assert rows[("smartnic", "rnd-read", 256)] > rows[("smartnic", "rnd-read", 4)]
+    # Paper shape 2: the SmartNIC penalty is small for 4KB reads...
+    small_gap = rows[("smartnic", "rnd-read", 4)] / rows[("server", "rnd-read", 4)]
+    assert small_gap < 1.10
+    # ...and grows for large IOs (paper: ~20% at 128/256KB).
+    large_gap = rows[("smartnic", "rnd-read", 256)] / rows[("server", "rnd-read", 256)]
+    assert large_gap > small_gap

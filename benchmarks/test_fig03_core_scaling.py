@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 3 (throughput vs core count)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig03_core_scaling as experiment
+
+
+def test_fig03(benchmark):
+    results = run_once(
+        benchmark, experiment.run, measure_us=200_000.0, core_counts=(1, 2, 3, 4)
+    )
+    print()
+    print(experiment.summarize(results))
+    rows = {(r["host"], r["op"], r["cores"]): r["kiops"] for r in results["rows"]}
+    # Paper shape 1: the server saturates 4KB reads with ~2 cores.
+    assert rows[("server", "rnd-read", 2)] > 0.95 * rows[("server", "rnd-read", 4)]
+    # Paper shape 2: the SmartNIC needs ~3 wimpy cores for the same load.
+    assert rows[("smartnic", "rnd-read", 1)] < 0.6 * rows[("smartnic", "rnd-read", 4)]
+    assert rows[("smartnic", "rnd-read", 3)] > 0.75 * rows[("smartnic", "rnd-read", 4)]
+    # Paper shape 3: with enough cores both hosts reach the storage limit.
+    assert rows[("smartnic", "rnd-read", 4)] > 0.85 * rows[("server", "rnd-read", 4)]

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 4 (multi-tenant interference)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig04_interference as experiment
+
+
+def test_fig04(benchmark):
+    results = run_once(benchmark, experiment.run, measure_us=400_000.0)
+    print()
+    print(experiment.summarize(results))
+    rows = {r["neighbour"]: r for r in results["rows"]}
+    # Paper shape 1: higher intensity wins -- the QD128 neighbour takes
+    # much more than the QD32 victim.
+    qd128 = rows["4KB-RD-QD128"]
+    assert qd128["neighbour_mbps"] > 1.5 * qd128["victim_mbps"]
+    # Paper shape 2: a deeper 128KB neighbour flips from loser to winner.
+    assert (
+        rows["128KB-RD-QD8"]["neighbour_mbps"] > rows["128KB-RD-QD1"]["neighbour_mbps"]
+    )
+    assert rows["128KB-RD-QD1"]["neighbour_mbps"] < rows["128KB-RD-QD1"]["victim_mbps"]
+    # Paper shape 3: a write neighbour costs the victim a large share of
+    # its matched-read baseline.
+    baseline = rows["4KB-RD-QD32"]["victim_mbps"]
+    assert rows["4KB-WR-QD32"]["victim_mbps"] < 0.8 * baseline

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 6 (utilisation under uniform tenants)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig06_utilization as experiment
+
+
+def test_fig06(benchmark):
+    results = run_once(
+        benchmark,
+        experiment.run,
+        measure_us=700_000.0,
+        warmup_us=400_000.0,
+        num_workers=16,
+    )
+    print()
+    print(experiment.summarize(results))
+    rows = {(r["case"], r["scheme"]): r for r in results["rows"]}
+    # Paper shape 1: ReFlex's static worst-case write model collapses
+    # clean-SSD write throughput (x6.6 against Gimbal in the paper).
+    assert (
+        rows[("C-W", "gimbal")]["aggregate_mbps"]
+        > 3.0 * rows[("C-W", "reflex")]["aggregate_mbps"]
+    )
+    # Paper shape 2: Gimbal tracks FlashFQ's aggregate bandwidth on the
+    # fragmented read case (both near device max).
+    assert (
+        rows[("F-R", "gimbal")]["aggregate_mbps"]
+        > 0.6 * rows[("F-R", "flashfq")]["aggregate_mbps"]
+    )
+    # Paper shape 3: Gimbal's flow control keeps fragmented-write
+    # latency far below the uncontrolled schemes.
+    assert (
+        rows[("F-W", "gimbal")]["avg_latency_us"]
+        < 0.7 * rows[("F-W", "flashfq")]["avg_latency_us"]
+    )

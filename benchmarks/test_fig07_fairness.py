@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 7 (fairness across mixed workloads)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig07_fairness as experiment
+
+
+def futil_spread(rows, sub, scheme):
+    values = [r["f_util"] for r in rows if r["sub"] == sub and r["scheme"] == scheme]
+    return max(values) - min(values)
+
+
+def test_fig07(benchmark):
+    results = run_once(
+        benchmark,
+        experiment.run,
+        measure_us=900_000.0,
+        warmup_us=500_000.0,
+        workers_per_class=16,
+    )
+    print()
+    print(experiment.summarize(results))
+    rows = results["rows"]
+
+    def cell(sub, scheme, cls):
+        for r in rows:
+            if r["sub"] == sub and r["scheme"] == scheme and r["class"] == cls:
+                return r
+        raise KeyError((sub, scheme, cls))
+
+    # (a) Mixed sizes on clean: Gimbal's per-class f-Utils sit far
+    # closer to 1 than the schemes with no per-IO cost normalisation
+    # (paper: x8.7 less utilisation deviation than FlashFQ, x6.4 less
+    # than Parda -- under those schemes the 128KB class grabs several
+    # times its fair share).
+    assert futil_spread(rows, "a", "gimbal") < 0.5 * futil_spread(rows, "a", "flashfq")
+    assert futil_spread(rows, "a", "gimbal") < 0.7 * futil_spread(rows, "a", "parda")
+    assert cell("a", "flashfq", "128KB")["f_util"] > 2.0
+    assert abs(cell("a", "gimbal", "128KB")["f_util"] - 1.0) < 0.6
+    # (c) Fragmented R/W: Gimbal's class f-Utils straddle 1 more tightly
+    # than Parda's, whose reads starve (paper: x330 better deviation).
+    assert futil_spread(rows, "c", "gimbal") < futil_spread(rows, "c", "parda")
+    parda_read = cell("c", "parda", "read")["f_util"]
+    gimbal_read = cell("c", "gimbal", "read")["f_util"]
+    assert parda_read < 0.25 * gimbal_read
+    # (b) Clean R/W: ReFlex write f-Util collapses versus Gimbal's.
+    assert cell("b", "reflex", "write")["f_util"] < 0.5 * cell("b", "gimbal", "write")["f_util"]

@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figure 8 (latency percentiles under mixed R/W)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig08_latency as experiment
+
+
+def test_fig08(benchmark):
+    results = run_once(
+        benchmark,
+        experiment.run,
+        measure_us=900_000.0,
+        warmup_us=500_000.0,
+        workers_per_class=16,
+    )
+    print()
+    print(experiment.summarize(results))
+    rows = {(r["case"], r["scheme"], r["op"]): r for r in results["rows"]}
+    # Paper shape 1: on the clean mixed workload Gimbal's read tail is
+    # far below the uncontrolled schemes (credits bound outstanding IO).
+    assert (
+        rows[("clean-128KB", "gimbal", "read")]["p99_us"]
+        < 0.5 * rows[("clean-128KB", "flashfq", "read")]["p99_us"]
+    )
+    # Paper shape 2: ReFlex's unthrottled clean-SSD writes see tail
+    # latencies an order of magnitude above Gimbal's.
+    assert (
+        rows[("clean-128KB", "reflex", "write")]["p999_us"]
+        > 3.0 * rows[("clean-128KB", "gimbal", "write")]["p999_us"]
+    )
+    # Paper shape 3: on the fragmented mix Gimbal cuts average read and
+    # write latency well below the work-conserving schemes...
+    assert (
+        rows[("frag-4KB", "gimbal", "read")]["avg_us"]
+        < 0.6 * rows[("frag-4KB", "flashfq", "read")]["avg_us"]
+    )
+    assert (
+        rows[("frag-4KB", "gimbal", "write")]["p99_us"]
+        < 0.8 * rows[("frag-4KB", "flashfq", "write")]["p99_us"]
+    )
+    # ...while sitting above Parda's write latency (paper: x3.4), whose
+    # low latency comes at the cost of starving reads entirely.
+    parda_write = rows[("frag-4KB", "parda", "write")]["avg_us"]
+    gimbal_write = rows[("frag-4KB", "gimbal", "write")]["avg_us"]
+    assert parda_write < gimbal_write < 9.0 * parda_write

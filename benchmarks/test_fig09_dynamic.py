@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 9 (dynamic workload, write-cost adaptation)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig09_dynamic as experiment
+
+
+def test_fig09(benchmark):
+    results = run_once(benchmark, experiment.run, phase_us=400_000.0)
+    print()
+    print(experiment.summarize(results))
+    phase = results["phase_us"]
+    cost_series = results["write_cost_series"]
+    # Paper shape 1: with a single rate-capped writer, the device buffer
+    # absorbs the writes and the estimated cost decays well below worst
+    # case during the early phases.
+    early = [v for t, v in cost_series if phase <= t < 3 * phase]
+    assert early, "no write-cost samples in the single-writer phase"
+    assert min(early) < 6.0
+    # Paper shape 2: under full write consolidation the cost climbs back
+    # toward the worst case.
+    mid_start = 6 * phase
+    mid = [v for t, v in cost_series if mid_start <= t < mid_start + 4 * phase]
+    assert mid, "no write-cost samples in the consolidated phase"
+    assert max(mid) > 7.0
+    # Paper shape 3: write latency rises by an order of magnitude from
+    # the single-writer phase to the consolidated phase.
+    write_latency = dict(results["latency_series"]["write"])
+    early_lat = [v for t, v in write_latency.items() if phase <= t < 3 * phase]
+    late_lat = [v for t, v in write_latency.items() if mid_start <= t < mid_start + 4 * phase]
+    assert early_lat and late_lat
+    assert max(late_lat) > 3.0 * min(early_lat)

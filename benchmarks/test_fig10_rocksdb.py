@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 10 (RocksDB/YCSB across schemes)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig10_rocksdb as experiment
+
+
+def test_fig10(benchmark):
+    results = run_once(
+        benchmark,
+        experiment.run,
+        schemes=("gimbal", "reflex", "parda", "flashfq"),
+        workloads=("A", "B", "C", "F"),
+        instances=6,
+        measure_us=500_000.0,
+        warmup_us=250_000.0,
+    )
+    print()
+    print(experiment.summarize(results))
+    rows = {(r["workload"], r["scheme"]): r for r in results["rows"]}
+
+    def gain(workload, baseline):
+        return rows[(workload, "gimbal")]["kops"] / max(rows[(workload, baseline)]["kops"], 1e-9)
+
+    # Paper shape 1: Gimbal improves the update-heavy workloads against
+    # at least one baseline substantially (paper avg: x1.7 vs ReFlex).
+    assert max(gain("A", "reflex"), gain("A", "parda")) > 1.15
+    # Paper shape 2: the read-only workload benefits least.
+    read_only_gain = max(gain("C", b) for b in ("reflex", "parda", "flashfq"))
+    update_gain = max(gain("A", b) for b in ("reflex", "parda", "flashfq"))
+    assert update_gain > 0.8 * read_only_gain  # A gains at least comparably
+    # Paper shape 3: Gimbal never collapses: within 40% of the best
+    # scheme on every workload.
+    for workload in ("A", "B", "C", "F"):
+        best = max(rows[(workload, s)]["kops"] for s in ("gimbal", "reflex", "parda", "flashfq"))
+        assert rows[(workload, "gimbal")]["kops"] > 0.6 * best

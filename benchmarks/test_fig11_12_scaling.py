@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figures 11/12 (scaling DB instance count)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig11_12_scaling as experiment
+
+
+def test_fig11_12(benchmark):
+    results = run_once(
+        benchmark,
+        experiment.run,
+        workloads=("A", "C"),
+        instance_counts=(1, 2, 4, 6),
+        measure_us=500_000.0,
+        warmup_us=250_000.0,
+    )
+    print()
+    print(experiment.summarize(results))
+    rows = {(r["workload"], r["instances"]): r for r in results["rows"]}
+    # Paper shape 1: throughput grows with the number of instances
+    # before saturation.
+    assert rows[("A", 4)]["kops"] > 1.5 * rows[("A", 1)]["kops"]
+    assert rows[("C", 6)]["kops"] > rows[("C", 1)]["kops"]
+    # Paper shape 2: consolidation raises read latency for the
+    # update-heavy workload.
+    assert rows[("A", 6)]["read_avg_us"] > rows[("A", 1)]["read_avg_us"]

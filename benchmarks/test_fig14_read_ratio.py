@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 14 (4KB performance vs read ratio)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig14_read_ratio as experiment
+
+
+def test_fig14(benchmark):
+    results = run_once(benchmark, experiment.run, duration_us=300_000.0)
+    print()
+    print(experiment.summarize(results))
+    rows = {(r["condition"], r["read_ratio"]): r for r in results["rows"]}
+    # Paper shape 1: the fragmented device's write-heavy end reaches
+    # only a small fraction of the clean device's (paper: ~17%).
+    assert (
+        rows[("fragmented", 0.0)]["write_mbps"] < 0.9 * rows[("clean", 0.0)]["write_mbps"]
+    )
+    # Paper shape 2: adding writes to a read-only fragmented stream
+    # costs a disproportionate share of total IOPS.
+    read_only = rows[("fragmented", 1.0)]["kiops"]
+    with_writes = rows[("fragmented", 0.9)]["kiops"]
+    assert with_writes < 0.85 * read_only
+    # Paper shape 3: the clean device outperforms the fragmented one at
+    # every mixed ratio.
+    for ratio in (0.2, 0.4, 0.5, 0.6, 0.8):
+        assert rows[("clean", ratio)]["kiops"] >= rows[("fragmented", ratio)]["kiops"]

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 15 (read latency under four scenarios)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig15_latency_scenarios as experiment
+
+
+def test_fig15(benchmark):
+    results = run_once(benchmark, experiment.run, duration_us=200_000.0)
+    print()
+    print(experiment.summarize(results))
+    rows = {(r["scenario"], r["size_kb"]): r["avg_latency_us"] for r in results["rows"]}
+    # Paper shape 1: every perturbation inflates latency versus vanilla
+    # for large IOs.
+    for scenario in ("70/30-rw", "qd8"):
+        assert rows[(scenario, 128)] > rows[("vanilla", 128)]
+    # Paper shape 2: latency grows with IO size in every scenario.
+    for scenario in ("vanilla", "fragmented", "70/30-rw", "qd8"):
+        assert rows[(scenario, 256)] > rows[(scenario, 4)]
+    # Paper shape 3: QD8 self-load roughly doubles large-IO latency.
+    assert rows[("qd8", 256)] > 1.5 * rows[("vanilla", 256)]

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 16 (bandwidth vs added per-IO cost)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig16_processing_cost as experiment
+
+
+def test_fig16(benchmark):
+    results = run_once(
+        benchmark,
+        experiment.run,
+        measure_us=200_000.0,
+        added_costs=(0.0, 1.0, 5.0, 20.0, 80.0, 320.0),
+    )
+    print()
+    print(experiment.summarize(results))
+    rows = {(r["case"], r["added_cost_us"]): r["gbps"] for r in results["rows"]}
+    # Paper shape 1: 4KB traffic collapses long before 128KB traffic as
+    # per-IO cost is added (small IOs have microseconds of headroom).
+    small_loss_at_20 = rows[("4KB-read", 20.0)] / rows[("4KB-read", 0.0)]
+    large_loss_at_20 = rows[("128KB-read", 20.0)] / rows[("128KB-read", 0.0)]
+    assert small_loss_at_20 < large_loss_at_20
+    # Paper shape 2: at +320us everyone is processing-bound.
+    assert rows[("128KB-read", 320.0)] < 0.6 * rows[("128KB-read", 0.0)]
+    assert rows[("4KB-read", 320.0)] < 0.1 * rows[("4KB-read", 0.0)]
+    # Paper shape 3: small added cost (1us) barely moves 128KB traffic.
+    assert rows[("128KB-read", 1.0)] > 0.9 * rows[("128KB-read", 0.0)]

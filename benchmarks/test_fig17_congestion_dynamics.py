@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 17 (latency impulse under rising load)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig17_congestion_dynamics as experiment
+
+
+def test_fig17(benchmark):
+    results = run_once(benchmark, experiment.run, phase_us=300_000.0, steps=5)
+    print()
+    print(experiment.summarize(results))
+    latency_4k = results["latency_4k"]
+    bandwidth = results["bandwidth_mbps"]
+    assert latency_4k and bandwidth
+    # Paper shape 1: latency at the end (overloaded) is several times
+    # the unloaded start.
+    early = latency_4k[1][1]
+    late = max(v for _, v in latency_4k[-5:])
+    assert late > 3.0 * early
+    # Paper shape 2: bandwidth saturates -- the last phase adds load but
+    # little throughput.
+    phase = 300_000.0
+    def mean_in(series, lo, hi):
+        values = [v for t, v in series if lo <= t < hi]
+        return sum(values) / len(values)
+
+    second_last = mean_in(bandwidth, 3 * phase, 4 * phase)
+    last = mean_in(bandwidth, 4 * phase, 5 * phase)
+    assert last < 1.3 * second_last

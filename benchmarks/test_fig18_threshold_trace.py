@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 18 (dynamic latency threshold trace)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig18_threshold_trace as experiment
+
+
+def test_fig18(benchmark):
+    results = run_once(benchmark, experiment.run, phase_us=200_000.0, steps=12)
+    print()
+    print(experiment.summarize(results))
+    thresholds = [v for _, v in results["threshold"]]
+    ewmas = [v for _, v in results["ewma_latency"]]
+    assert thresholds and ewmas
+    # Paper shape 1: the threshold is dynamic (it moves over the run).
+    assert max(thresholds) > 1.2 * min(thresholds)
+    # Paper shape 2: congestion signals fire as load rises.
+    signals = results["signals"]
+    assert signals["CONGESTED"] + signals["OVERLOADED"] > 0
+    # Paper shape 3: the EWMA grows with offered load.
+    early = sum(ewmas[:5]) / 5
+    late = sum(ewmas[-5:]) / 5
+    assert late > early

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figures 19-23 (Appendix D characterisation)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig19_23_appendix_d as experiment
+
+
+def test_fig19_23(benchmark):
+    results = run_once(benchmark, experiment.run, measure_us=250_000.0)
+    print()
+    print(experiment.summarize(results))
+    # Figure 19: the double-QD stream takes more bandwidth at every size.
+    for row in results["fig19"]:
+        assert row["intense_mbps"] > row["mild_mbps"]
+    # Figure 20: large neighbours dominate the 4KB stream.
+    by_size = {r["neighbour_kb"]: r for r in results["fig20"]}
+    assert by_size[64]["stream2_mbps"] > 3.0 * by_size[64]["stream1_mbps"]
+    # Figure 21: mixing with writes costs reads a large share.
+    for row in results["fig21"]:
+        assert row["mixed_mbps"] < 0.8 * row["standalone_mbps"]
+    # Figures 22/23: background traffic inflates probe latency, and the
+    # effect saturates once the background stream hits its bandwidth cap.
+    fig22 = [r for r in results["fig22_23"] if r["fig"] == "22"]
+    baseline = fig22[0]["avg_us"]
+    assert fig22[-1]["avg_us"] > 1.5 * baseline

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Section 5.8 (generalisation to the Intel P3600)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import sec58_generalization as experiment
+
+
+def test_sec58(benchmark):
+    results = run_once(
+        benchmark,
+        experiment.run,
+        measure_us=800_000.0,
+        warmup_us=400_000.0,
+        workers_per_class=8,
+    )
+    print()
+    print(experiment.summarize(results))
+    rows = {r["condition"]: r for r in results["rows"]}
+    # Paper shape: Gimbal adapts to the different device -- each class's
+    # f-Util stays within a sane fairness band on both conditions
+    # (paper: 0.58-0.90 across the four cells).
+    for condition in ("clean", "fragmented"):
+        row = rows[condition]
+        assert 0.15 < row["read_futil"] < 3.0
+        assert 0.15 < row["write_futil"] < 3.0
+        # Neither class is starved outright.
+        assert row["read_mbps"] > 25.0
+        assert row["write_mbps"] > 25.0

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 1 (CPU overhead vs vanilla SPDK)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import table1_overheads as experiment
+
+
+def test_table1(benchmark):
+    results = run_once(benchmark, experiment.run, measure_us=150_000.0)
+    print()
+    print(experiment.summarize(results))
+    # Paper shape 1: Gimbal adds scheduler cycles on both paths
+    # (37.5-62.5% in the paper).
+    for row in results["cycles"]:
+        assert row["gimbal_cycles"] > row["vanilla_cycles"]
+        assert 3.0 < row["overhead_pct"] < 120.0
+        # The paper's absolute deltas: +20 cycles on submit, +6-8 on
+        # complete (Table 1a at 125 cycles/us).
+        added = row["gimbal_cycles"] - row["vanilla_cycles"]
+        assert 2.0 < added < 60.0
+    # Paper shape 2: NULL-device IOPS loss is modest (9-12% in the
+    # paper; the 4-core case may hit the 100 Gbps wire limit first, in
+    # which case both schemes tie).
+    for row in results["null_iops"]:
+        assert -5.0 <= row["loss_pct"] < 30.0
+    assert results["null_iops"][0]["loss_pct"] > 0.0
+    # Paper shape 3: one vanilla core drives high six-figure IOPS
+    # against the NULL backend (~937 KIOPS in the paper).
+    single_core = results["null_iops"][0]
+    assert 600.0 < single_core["vanilla_kiops"] < 1200.0
+    # Paper shape 4: four cores scale the NULL-device throughput.
+    assert results["null_iops"][1]["gimbal_kiops"] > 2.0 * results["null_iops"][0]["gimbal_kiops"]

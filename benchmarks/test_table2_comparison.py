@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 (qualitative mechanism comparison)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import table2_comparison as experiment
+
+
+def test_table2(benchmark):
+    results = run_once(benchmark, experiment.run)
+    print()
+    print(experiment.summarize(results))
+    rows = {r["scheme"]: r for r in results["rows"]}
+    assert rows["gimbal"]["bw_estimation"] == "Dynamic"
+    assert rows["gimbal"]["io_cost"] == "Dynamic"
+    assert rows["gimbal"]["flow_control"] == "yes"
+    assert rows["reflex"]["bw_estimation"] == "Static"
+    assert rows["parda"]["fair_queueing"] == "@Client"
+    assert rows["flashfq"]["flow_control"] == "no"
+    assert all(results["checks"].values())

@@ -1,0 +1,24 @@
+"""Vanilla SPDK-style target: no isolation, pass-through submission.
+
+This is the "vanilla" configuration of the evaluation (Table 1,
+Figure 13) and the substrate for Parda, whose mechanism is entirely
+client-side.  Every request goes straight to the device in arrival
+order, so tenants interfere exactly as in Section 2.3's motivating
+experiments.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import StorageScheduler
+from repro.fabric.request import FabricRequest
+
+
+class FifoScheduler(StorageScheduler):
+    """Submit every request to the SSD immediately, in arrival order."""
+
+    name = "vanilla"
+    submit_overhead_us = 0.0
+    complete_overhead_us = 0.0
+
+    def enqueue(self, request: FabricRequest) -> None:
+        self.submit_to_device(request)

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` -- show every reproducible table/figure and its driver;
+* ``run <experiment> [--quick]`` -- regenerate one table/figure and
+  print the same rows/series the paper reports;
+* ``calibrate`` -- measure the simulated device's anchor numbers
+  against the paper's (Section 2.2);
+* ``simulate`` -- ad-hoc multi-tenant run: pick a scheme, a device
+  condition and a worker mix, get bandwidth/latency per tenant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional, Tuple
+
+#: experiment name -> (module path, quick-mode kwargs).
+EXPERIMENTS: Dict[str, Tuple[str, dict]] = {
+    "fig02": ("repro.harness.experiments.fig02_unloaded_latency", {"measure_us": 100_000.0}),
+    "fig03": ("repro.harness.experiments.fig03_core_scaling", {"measure_us": 100_000.0, "core_counts": (1, 2, 4)}),
+    "fig04": ("repro.harness.experiments.fig04_interference", {"measure_us": 200_000.0}),
+    "fig06": ("repro.harness.experiments.fig06_utilization", {"measure_us": 400_000.0, "warmup_us": 200_000.0, "num_workers": 8}),
+    "fig07": ("repro.harness.experiments.fig07_fairness", {"measure_us": 500_000.0, "warmup_us": 300_000.0, "workers_per_class": 8}),
+    "fig08": ("repro.harness.experiments.fig08_latency", {"measure_us": 500_000.0, "warmup_us": 300_000.0, "workers_per_class": 8}),
+    "fig09": ("repro.harness.experiments.fig09_dynamic", {"phase_us": 250_000.0}),
+    "fig10": ("repro.harness.experiments.fig10_rocksdb", {"instances": 4, "measure_us": 300_000.0, "workloads": ("A", "C")}),
+    "fig11-12": ("repro.harness.experiments.fig11_12_scaling", {"instance_counts": (1, 2, 4), "measure_us": 300_000.0}),
+    "fig13": ("repro.harness.experiments.fig13_virtual_view", {"instances": 4, "measure_us": 300_000.0, "workloads": ("A", "B")}),
+    "fig14": ("repro.harness.experiments.fig14_read_ratio", {"duration_us": 200_000.0}),
+    "fig15": ("repro.harness.experiments.fig15_latency_scenarios", {"duration_us": 150_000.0}),
+    "fig16": ("repro.harness.experiments.fig16_processing_cost", {"measure_us": 150_000.0, "added_costs": (0.0, 5.0, 40.0, 320.0)}),
+    "fig17": ("repro.harness.experiments.fig17_congestion_dynamics", {"phase_us": 200_000.0, "steps": 4}),
+    "fig18": ("repro.harness.experiments.fig18_threshold_trace", {"phase_us": 150_000.0, "steps": 8}),
+    "fig19-23": ("repro.harness.experiments.fig19_23_appendix_d", {"measure_us": 200_000.0}),
+    "table1": ("repro.harness.experiments.table1_overheads", {"measure_us": 100_000.0}),
+    "table2": ("repro.harness.experiments.table2_comparison", {}),
+    "sec5.8": ("repro.harness.experiments.sec58_generalization", {"measure_us": 500_000.0, "warmup_us": 250_000.0, "workers_per_class": 4}),
+    "ablations": ("repro.harness.experiments.ablations", {"measure_us": 400_000.0, "warmup_us": 200_000.0, "workers": 4}),
+    "ext-qlc": ("repro.harness.experiments.ext_qlc", {"measure_us": 400_000.0, "warmup_us": 200_000.0, "workers_per_class": 4}),
+}
+
+
+def _load(name: str):
+    import importlib
+
+    module_path, quick_kwargs = EXPERIMENTS[name]
+    return importlib.import_module(module_path), quick_kwargs
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (module_path, _) in sorted(EXPERIMENTS.items()):
+        print(f"{name.ljust(width)}  {module_path}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try: python -m repro list", file=sys.stderr)
+        return 2
+    module, quick_kwargs = _load(args.experiment)
+    kwargs = quick_kwargs if args.quick else {}
+    results = module.run(**kwargs)
+    print(module.summarize(results))
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """Measure the device anchors the profiles are calibrated against."""
+    import random
+
+    from repro.harness.report import format_table
+    from repro.sim import Simulator
+    from repro.ssd import (
+        DeviceCommand,
+        IoOp,
+        SsdDevice,
+        precondition_clean,
+        precondition_fragmented,
+        profile_by_name,
+    )
+
+    def closed_loop(condition, queue_depth, op, npages, sequential=False):
+        sim = Simulator()
+        device = SsdDevice(sim, profile=profile_by_name(args.profile))
+        if condition == "clean":
+            precondition_clean(device)
+        else:
+            precondition_fragmented(device)
+        rng = random.Random(0)
+        state = {"bytes": 0, "ops": 0, "latency": 0.0, "next": 0}
+        duration = args.duration_ms * 1000.0
+
+        def next_lpn():
+            if sequential:
+                lpn = state["next"]
+                state["next"] = (state["next"] + npages) % (device.exported_pages - npages)
+                return lpn
+            return rng.randrange(device.exported_pages - npages)
+
+        def on_complete(cmd):
+            state["bytes"] += cmd.size_bytes
+            state["ops"] += 1
+            state["latency"] += cmd.latency_us
+            if sim.now < duration:
+                device.submit(DeviceCommand(op, next_lpn(), npages), on_complete)
+
+        for _ in range(queue_depth):
+            device.submit(DeviceCommand(op, next_lpn(), npages), on_complete)
+        sim.run(until_us=duration)
+        seconds = duration / 1e6
+        return (
+            state["bytes"] / seconds / (1024 * 1024),
+            state["ops"] / seconds,
+            state["latency"] / max(1, state["ops"]),
+            device.write_amplification,
+        )
+
+    rows = []
+    for label, condition, qd, op, npages, seq in (
+        ("4K rand read QD128", "clean", 128, IoOp.READ, 1, False),
+        ("4K rand read QD1", "clean", 1, IoOp.READ, 1, False),
+        ("128K rand read QD8", "clean", 8, IoOp.READ, 32, False),
+        ("128K seq write QD4", "clean", 4, IoOp.WRITE, 32, True),
+        ("4K rand write QD32 (frag)", "fragmented", 32, IoOp.WRITE, 1, False),
+    ):
+        mbps, iops, latency, wa = closed_loop(condition, qd, op, npages, seq)
+        rows.append((label, mbps, iops / 1000.0, latency, wa))
+    print(
+        format_table(
+            ["workload", "MB/s", "KIOPS", "avg latency us", "WA"],
+            rows,
+            title=f"Device anchors ({args.profile} profile)",
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.harness import Testbed, TestbedConfig
+    from repro.harness.report import format_table
+    from repro.workloads import FioSpec
+
+    testbed = Testbed(
+        TestbedConfig(scheme=args.scheme, condition=args.condition, seed=args.seed)
+    )
+    io_pages = args.io_kb // 4
+    for index in range(args.readers):
+        testbed.add_worker(
+            FioSpec(f"reader{index}", io_pages=io_pages, queue_depth=args.queue_depth,
+                    read_ratio=1.0),
+            region_pages=1600,
+        )
+    for index in range(args.writers):
+        testbed.add_worker(
+            FioSpec(f"writer{index}", io_pages=io_pages, queue_depth=args.queue_depth,
+                    read_ratio=0.0,
+                    pattern="sequential" if io_pages >= 32 else "random"),
+            region_pages=1600,
+        )
+    results = testbed.run(
+        warmup_us=args.seconds * 1e6 * 0.3, measure_us=args.seconds * 1e6
+    )
+    rows = []
+    for worker in results["workers"]:
+        latency = (
+            worker["read_latency"] if worker["read_latency"]["count"] else worker["write_latency"]
+        )
+        rows.append(
+            (worker["name"], worker["bandwidth_mbps"], worker["iops"],
+             latency["mean"], latency["p99"])
+        )
+    print(
+        format_table(
+            ["tenant", "MB/s", "IOPS", "avg us", "p99 us"],
+            rows,
+            title=f"{args.scheme} on {args.condition} SSD "
+            f"({args.readers}R+{args.writers}W, {args.io_kb}KB, QD{args.queue_depth})",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Gimbal (SIGCOMM 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible tables/figures").set_defaults(fn=cmd_list)
+
+    run_parser = sub.add_parser("run", help="regenerate one table/figure")
+    run_parser.add_argument("experiment", help="e.g. fig07, table1 (see `list`)")
+    run_parser.add_argument(
+        "--quick", action="store_true", help="scaled-down measurement windows"
+    )
+    run_parser.set_defaults(fn=cmd_run)
+
+    calibrate_parser = sub.add_parser("calibrate", help="measure device anchor numbers")
+    calibrate_parser.add_argument("--profile", default="dct983", choices=["dct983", "p3600"])
+    calibrate_parser.add_argument("--duration-ms", type=float, default=500.0)
+    calibrate_parser.set_defaults(fn=cmd_calibrate)
+
+    simulate_parser = sub.add_parser("simulate", help="ad-hoc multi-tenant run")
+    simulate_parser.add_argument("--scheme", default="gimbal")
+    simulate_parser.add_argument("--condition", default="fragmented")
+    simulate_parser.add_argument("--readers", type=int, default=4)
+    simulate_parser.add_argument("--writers", type=int, default=4)
+    simulate_parser.add_argument("--io-kb", type=int, default=4, choices=[4, 8, 16, 32, 64, 128])
+    simulate_parser.add_argument("--queue-depth", type=int, default=32)
+    simulate_parser.add_argument("--seconds", type=float, default=1.0)
+    simulate_parser.add_argument("--seed", type=int, default=42)
+    simulate_parser.set_defaults(fn=cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

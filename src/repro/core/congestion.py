@@ -1,0 +1,83 @@
+"""Delay-based SSD congestion control (paper Section 3.2, Algorithm 1).
+
+Gimbal treats the SSD as a networked black box and uses IO *latency*
+(not derived bandwidth -- the device's opaque internal parallelism
+makes bandwidth misleading) as the congestion signal.  Each IO type
+has its own :class:`LatencyMonitor` because reads and writes sit at
+very different latency operating points.
+
+The dynamic threshold works like Reno applied to the threshold itself:
+
+* while the EWMA latency sits below the threshold, the threshold decays
+  toward the EWMA (``thresh -= alpha_T * (thresh - ewma)``), arming the
+  detector close to the current operating point;
+* when the EWMA crosses the threshold, a *congested* signal fires and
+  the threshold jumps to the midpoint of itself and ``thresh_max``;
+* EWMA above ``thresh_max`` means *overloaded*; below ``thresh_min``
+  means *under-utilised* (the device has headroom to probe for).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.config import GimbalParams
+from repro.metrics.ewma import Ewma
+
+
+class CongestionState(enum.Enum):
+    """The four states of Section 3.3, ordered by increasing load."""
+
+    UNDERUTILIZED = 0
+    CONGESTION_AVOIDANCE = 1
+    CONGESTED = 2
+    OVERLOADED = 3
+
+
+class LatencyMonitor:
+    """EWMA latency tracking plus dynamic threshold for one IO type."""
+
+    def __init__(self, params: GimbalParams):
+        self.params = params
+        self.ewma = Ewma(alpha=params.alpha_d)
+        # Start mid-range: low enough to detect early congestion, high
+        # enough not to cry wolf on the first samples.
+        self.threshold = (params.thresh_min_us + params.thresh_max_us) / 2.0
+        self.state = CongestionState.UNDERUTILIZED
+        self.signals = {state: 0 for state in CongestionState}
+
+    @property
+    def ewma_latency_us(self) -> float:
+        return self.ewma.value
+
+    def observe(self, latency_us: float) -> CongestionState:
+        """Fold in one completion latency; return the congestion state.
+
+        This is Algorithm 1's ``update_latency`` verbatim, with the
+        threshold clamped to [thresh_min, thresh_max] so prolonged idle
+        periods cannot push it below the congestion-free floor.
+        """
+        params = self.params
+        ewma = self.ewma.update(latency_us)
+        if ewma > params.thresh_max_us:
+            self.threshold = params.thresh_max_us
+            state = CongestionState.OVERLOADED
+        elif ewma > self.threshold:
+            self.threshold = (self.threshold + params.thresh_max_us) / 2.0
+            state = CongestionState.CONGESTED
+        elif ewma > params.thresh_min_us:
+            self.threshold -= params.alpha_t * (self.threshold - ewma)
+            state = CongestionState.CONGESTION_AVOIDANCE
+        else:
+            self.threshold -= params.alpha_t * (self.threshold - ewma)
+            state = CongestionState.UNDERUTILIZED
+        self.threshold = min(max(self.threshold, params.thresh_min_us), params.thresh_max_us)
+        self.state = state
+        self.signals[state] += 1
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyMonitor(ewma={self.ewma.value:.0f}us, "
+            f"thresh={self.threshold:.0f}us, state={self.state.name})"
+        )

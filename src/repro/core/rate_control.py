@@ -1,0 +1,179 @@
+"""Rate pacing engine with a dual token bucket (Section 3.3, Alg 1 & 4).
+
+Window-based control does not fit SSDs: the same outstanding-byte
+window yields wildly different bandwidths across IO mixes, and the
+device's internal write buffer absorbs bursts in a way that inflates a
+window.  Gimbal instead paces *submission rate* with a token bucket,
+adjusting the target rate on every completion:
+
+* congestion avoidance  -> probe up by the completed IO's size,
+* congested             -> back off by the completed IO's size,
+* under-utilised        -> probe aggressively (beta x size) so the rate
+  recovers within a second after a workload shift (CUBIC/TIMELY-style),
+* overloaded            -> snap the target to the measured completion
+  rate, shed a little more, and discard buffered tokens to kill the
+  burst.
+
+The bucket is *dual*: tokens split between a read and a write bucket in
+the ratio ``write_cost : 1`` so a write-heavy phase cannot burst at the
+(much higher) aggregate rate; overflow spills to the other bucket
+(Appendix C.1, Algorithm 4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.core.config import GimbalParams
+from repro.core.congestion import CongestionState
+from repro.ssd.commands import IoOp
+
+
+class CompletionRateMeter:
+    """Sliding-window measurement of the device's completion rate."""
+
+    def __init__(self, window_us: float):
+        if window_us <= 0:
+            raise ValueError("window must be positive")
+        self.window_us = window_us
+        self._events: Deque[Tuple[float, int]] = deque()
+        self._bytes_in_window = 0
+
+    def record(self, now_us: float, nbytes: int) -> None:
+        self._events.append((now_us, nbytes))
+        self._bytes_in_window += nbytes
+        self._evict(now_us)
+
+    def rate_bytes_per_us(self, now_us: float) -> float:
+        self._evict(now_us)
+        return self._bytes_in_window / self.window_us
+
+    def _evict(self, now_us: float) -> None:
+        horizon = now_us - self.window_us
+        events = self._events
+        while events and events[0][0] < horizon:
+            _, nbytes = events.popleft()
+            self._bytes_in_window -= nbytes
+
+
+class DualTokenBucket:
+    """Separate read/write buckets fed from one target rate (Algorithm 4)."""
+
+    def __init__(self, params: GimbalParams):
+        self.max_tokens = params.bucket_max_tokens
+        self.read_tokens = self.max_tokens
+        self.write_tokens = self.max_tokens
+        self._last_update_us = 0.0
+
+    def update(self, now_us: float, target_rate: float, write_cost: float) -> None:
+        """Generate tokens since the last update and split them by cost."""
+        elapsed = now_us - self._last_update_us
+        self._last_update_us = now_us
+        if elapsed <= 0:
+            return
+        available = target_rate * elapsed
+        self.read_tokens += available * (write_cost / (1.0 + write_cost))
+        self.write_tokens += available * (1.0 / (1.0 + write_cost))
+        # Overflow spills to the sibling bucket, then truncates.
+        if self.read_tokens > self.max_tokens:
+            self.write_tokens += self.read_tokens - self.max_tokens
+            self.read_tokens = self.max_tokens
+        if self.write_tokens > self.max_tokens:
+            self.read_tokens += self.write_tokens - self.max_tokens
+            self.read_tokens = min(self.read_tokens, self.max_tokens)
+            self.write_tokens = self.max_tokens
+
+    def tokens_for(self, op: IoOp) -> float:
+        # Trims ride the write path (dataset management); reads have
+        # their own bucket.
+        return self.read_tokens if op.is_read else self.write_tokens
+
+    def can_consume(self, op: IoOp, nbytes: int) -> bool:
+        return self.tokens_for(op) >= nbytes
+
+    def consume(self, op: IoOp, nbytes: int) -> None:
+        if not self.can_consume(op, nbytes):
+            raise ValueError("insufficient tokens")
+        if op.is_read:
+            self.read_tokens -= nbytes
+        else:
+            self.write_tokens -= nbytes
+
+    def discard(self) -> None:
+        """Drop buffered tokens (overloaded state: avoid a burst)."""
+        self.read_tokens = 0.0
+        self.write_tokens = 0.0
+
+
+class RateController:
+    """Owns the target submission rate (Algorithm 1's ``Completion``)."""
+
+    def __init__(self, params: GimbalParams):
+        self.params = params
+        self.target_rate = params.initial_rate_bytes_per_us
+        self.meter = CompletionRateMeter(params.completion_rate_window_us)
+        # The headroom clamp needs a steadier estimate than the snap
+        # meter: a 10 ms window holds only 2-3 completions of 128 KiB
+        # at low rates, and clamping multiplicatively against that much
+        # sampling noise random-walks the rate into the floor.
+        self.clamp_meter = CompletionRateMeter(4.0 * params.completion_rate_window_us)
+        self.bucket = DualTokenBucket(params)
+
+    def on_completion(
+        self,
+        now_us: float,
+        op: IoOp,
+        nbytes: int,
+        state: CongestionState,
+        overall_state: CongestionState = None,
+    ) -> None:
+        """Adjust the target rate for one completed IO in ``state``.
+
+        ``overall_state`` is the more-loaded of the two IO-type
+        monitors; the headroom clamp only engages once *some* IO type
+        shows congestion pressure -- while everything is under-utilised
+        the paper's aggressive probing must run unconstrained.
+        """
+        params = self.params
+        if overall_state is None:
+            overall_state = state
+        self.meter.record(now_us, nbytes)
+        self.clamp_meter.record(now_us, nbytes)
+        if state is CongestionState.OVERLOADED:
+            # Snap below the device's measured service rate and kill
+            # any buffered burst; incremental steps cannot converge
+            # when the workload mix shifted under us.
+            self.target_rate = self.meter.rate_bytes_per_us(now_us)
+            self.bucket.discard()
+            self.target_rate -= self._step(nbytes)
+        elif state is CongestionState.CONGESTED:
+            self.target_rate -= self._step(nbytes)
+        elif state is CongestionState.CONGESTION_AVOIDANCE:
+            self.target_rate += self._step(nbytes)
+        else:  # UNDERUTILIZED: probe aggressively.
+            self.target_rate += params.beta * self._step(nbytes)
+        # Keep the target tethered to reality: at most ``headroom`` x
+        # the measured completion rate (see GimbalParams for rationale).
+        if overall_state.value >= CongestionState.CONGESTION_AVOIDANCE.value:
+            measured = self.clamp_meter.rate_bytes_per_us(now_us)
+            if measured > 0:
+                self.target_rate = min(
+                    self.target_rate, measured * params.completion_headroom
+                )
+        self.target_rate = min(
+            max(self.target_rate, params.min_rate_bytes_per_us), params.max_rate_bytes_per_us
+        )
+
+    def _step(self, nbytes: int) -> float:
+        """Per-completion rate increment.
+
+        The paper adjusts the rate "by the IO completion size"; rates
+        here are bytes/us, so the size is normalised by the completion
+        window to give a rate delta of the same flavour (one window's
+        worth of that IO).
+        """
+        return nbytes / self.params.completion_rate_window_us
+
+    def refresh_bucket(self, now_us: float, write_cost: float) -> None:
+        self.bucket.update(now_us, self.target_rate, write_cost)

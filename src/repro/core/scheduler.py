@@ -1,0 +1,221 @@
+"""Two-level hierarchical IO scheduler (paper Section 3.5, Algorithm 2).
+
+Level 1 is deficit round-robin *across tenants*, with two twists over
+textbook DRR:
+
+* the serviceable unit is the cost-weighted IO size (writes count
+  ``write_cost x size``), so a 128 KiB write at cost 3 waits three
+  quantum rounds, exactly the paper's example;
+* a tenant must hold a free *virtual slot* to submit.  Out of slots,
+  it moves to the deferred list with its deficit zeroed and rejoins
+  the tail of the active list when a slot drains -- deficits never
+  accrue while deferred.
+
+Level 2 is per-tenant priority queues: within a tenant, queues are
+served weighted-round-robin with weight ``priority + 1``, which lets
+clients prioritise latency-sensitive IOs over bulk traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.config import GimbalParams
+from repro.core.rate_control import DualTokenBucket
+from repro.core.virtual_slot import SlotManager
+from repro.fabric.request import FabricRequest
+
+
+class GimbalTenant:
+    """Per-tenant scheduler state: priority queues, deficit, slots."""
+
+    def __init__(self, tenant_id: str, weight: float, slot_bytes: int):
+        self.tenant_id = tenant_id
+        self.weight = weight
+        self.slots = SlotManager(slot_bytes)
+        self.deficit = 0.0
+        self.in_active = False
+        self.deferred = False
+        self._queues: Dict[int, Deque[FabricRequest]] = {}
+        # Weighted-round-robin state across priority queues:
+        # [priority, remaining_serves], rebuilt when the set of
+        # non-empty priorities changes.
+        self._wrr: List[List[int]] = []
+        self._wrr_index = 0
+        self.pending = 0
+
+    # ------------------------------------------------------------------
+    # Queue operations
+    # ------------------------------------------------------------------
+    def push(self, request: FabricRequest) -> None:
+        queue = self._queues.get(request.priority)
+        if queue is None:
+            queue = deque()
+            self._queues[request.priority] = queue
+            self._rebuild_wrr()
+        queue.append(request)
+        self.pending += 1
+
+    def peek(self) -> Optional[FabricRequest]:
+        """The request :meth:`pop` would return, without removing it."""
+        priority = self._select_priority()
+        if priority is None:
+            return None
+        return self._queues[priority][0]
+
+    def pop(self) -> FabricRequest:
+        priority = self._select_priority()
+        if priority is None:
+            raise IndexError("tenant has no pending requests")
+        queue = self._queues[priority]
+        request = queue.popleft()
+        self.pending -= 1
+        self._advance_wrr(priority)
+        if not queue:
+            del self._queues[priority]
+            self._rebuild_wrr()
+        return request
+
+    # ------------------------------------------------------------------
+    # Weighted round-robin across priority queues
+    # ------------------------------------------------------------------
+    def _rebuild_wrr(self) -> None:
+        self._wrr = [
+            [priority, priority + 1] for priority in sorted(self._queues, reverse=True)
+        ]
+        self._wrr_index = 0
+
+    def _select_priority(self) -> Optional[int]:
+        if not self._wrr:
+            return None
+        for _ in range(2 * len(self._wrr)):
+            if self._wrr_index >= len(self._wrr):
+                self._wrr_index = 0
+                for entry in self._wrr:
+                    entry[1] = entry[0] + 1
+            entry = self._wrr[self._wrr_index]
+            if entry[1] > 0 and self._queues.get(entry[0]):
+                return entry[0]
+            self._wrr_index += 1
+        return None
+
+    def _advance_wrr(self, priority: int) -> None:
+        if self._wrr_index < len(self._wrr) and self._wrr[self._wrr_index][0] == priority:
+            self._wrr[self._wrr_index][1] -= 1
+            if self._wrr[self._wrr_index][1] <= 0:
+                self._wrr_index += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GimbalTenant({self.tenant_id}, pending={self.pending}, "
+            f"deficit={self.deficit:.0f}, slots={self.slots.slots_in_use})"
+        )
+
+
+#: Pump outcome: ("idle", ...) all work drained/deferred, or
+#: ("tokens", op, deficit_bytes) blocked on the token bucket.
+PumpResult = Tuple[str, Optional[object], Optional[float]]
+
+
+class DrrSlotScheduler:
+    """Deficit round-robin over tenants with virtual-slot gating."""
+
+    def __init__(self, params: GimbalParams):
+        self.params = params
+        self.tenants: Dict[str, GimbalTenant] = {}
+        self.active: Deque[GimbalTenant] = deque()
+        self.slot_limit = params.slot_threshold
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle
+    # ------------------------------------------------------------------
+    def add_tenant(self, tenant_id: str, weight: float = 1.0) -> GimbalTenant:
+        if tenant_id in self.tenants:
+            return self.tenants[tenant_id]
+        if weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        tenant = GimbalTenant(tenant_id, weight, self.params.slot_bytes)
+        self.tenants[tenant_id] = tenant
+        self._recompute_slot_limit()
+        return tenant
+
+    def remove_tenant(self, tenant_id: str) -> None:
+        """Drop an idle tenant; remaining tenants' slot shares grow."""
+        tenant = self.tenants.pop(tenant_id, None)
+        if tenant is None:
+            return
+        if tenant.in_active:
+            self.active.remove(tenant)
+        self._recompute_slot_limit()
+
+    def _recompute_slot_limit(self) -> None:
+        """Distribute the slot threshold across tenants, at least 1 each."""
+        count = max(1, len(self.tenants))
+        self.slot_limit = max(1, self.params.slot_threshold // count)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def enqueue(self, tenant: GimbalTenant, request: FabricRequest) -> None:
+        tenant.push(request)
+        if not tenant.in_active and not tenant.deferred:
+            self._activate(tenant)
+
+    def _activate(self, tenant: GimbalTenant) -> None:
+        tenant.in_active = True
+        tenant.deferred = False
+        self.active.append(tenant)
+
+    def on_slot_freed(self, tenant: GimbalTenant) -> None:
+        """A virtual slot drained; a deferred tenant may rejoin."""
+        if tenant.deferred and tenant.slots.can_open(self.slot_limit):
+            self._activate(tenant)
+
+    def pump(
+        self,
+        weighted_size: Callable[[FabricRequest], float],
+        bucket: DualTokenBucket,
+        submit: Callable[..., None],
+    ) -> PumpResult:
+        """Run Algorithm 2 until out of work, slots everywhere, or tokens.
+
+        Termination: every full rotation of the active list adds one
+        quantum to each tenant's deficit, so a head-of-queue IO whose
+        weighted size is W waits at most ceil(W / quantum) rotations;
+        tenants without slots leave the list.
+        """
+        active = self.active
+        while active:
+            tenant = active[0]
+            request = tenant.peek()
+            if request is None:
+                active.popleft()
+                tenant.in_active = False
+                continue
+            weighted = weighted_size(request)
+            token_bytes = 4096 if request.op.is_trim else request.size_bytes
+            if tenant.deficit < weighted:
+                # Weighted DRR: a tenant's quantum scales with its
+                # share weight, so weight-2 tenants accumulate service
+                # twice as fast.
+                tenant.deficit += self.params.quantum_bytes * tenant.weight
+                active.rotate(-1)
+                continue
+            if not bucket.can_consume(request.op, token_bytes):
+                deficit = token_bytes - bucket.tokens_for(request.op)
+                return ("tokens", request.op, deficit)
+            slot = tenant.slots.try_place(weighted, self.slot_limit)
+            if slot is None:
+                # Out of virtual slots: defer with deficit zeroed
+                # (Algorithm 2 / Section 3.5).
+                tenant.deficit = 0.0
+                active.popleft()
+                tenant.in_active = False
+                tenant.deferred = True
+                continue
+            tenant.pop()
+            bucket.consume(request.op, token_bytes)
+            tenant.deficit -= weighted
+            submit(request, tenant, slot)
+        return ("idle", None, None)

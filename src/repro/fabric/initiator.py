@@ -1,0 +1,199 @@
+"""Client-side NVMe-oF initiator.
+
+A :class:`TenantSession` is the paper's notion of a tenant: one RDMA
+qpair plus one NVMe qpair bound to a single remote SSD.  Applications
+(the fio-like workers, the KV store's blobstore) submit IOs against a
+session; the session applies its client policy (credits, PARDA window,
+plain queue depth) and puts command capsules on the wire.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional, Tuple
+
+from repro.fabric.network import Network
+from repro.fabric.policies import ClientPolicy, UnlimitedClientPolicy
+from repro.fabric.request import COMMAND_CAPSULE_BYTES, FabricRequest
+from repro.sim.engine import Simulator
+from repro.ssd.commands import IoOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fabric.target import NvmeOfTarget
+
+CompletionCallback = Callable[[FabricRequest], None]
+
+
+class NvmeOfInitiator:
+    """One client host: a network port plus its tenant sessions."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str):
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.port = network.port(name)
+        self.sessions: list["TenantSession"] = []
+
+    def connect(
+        self,
+        tenant_id: str,
+        target: "NvmeOfTarget",
+        ssd_name: str,
+        policy: Optional[ClientPolicy] = None,
+        queue_depth: int = 256,
+        weight: float = 1.0,
+        namespace=None,
+    ) -> "TenantSession":
+        """Attach to ``ssd_name`` on ``target`` as tenant ``tenant_id``.
+
+        With ``namespace`` set, the session's LBAs are
+        namespace-relative and bounds-checked at the target.
+        """
+        session = TenantSession(
+            initiator=self,
+            tenant_id=tenant_id,
+            target=target,
+            ssd_name=ssd_name,
+            policy=policy or UnlimitedClientPolicy(),
+            queue_depth=queue_depth,
+        )
+        session.namespace = namespace
+        target.accept_connection(session, weight)
+        self.sessions.append(session)
+        return session
+
+
+class TenantSession:
+    """One tenant's qpair to one remote SSD."""
+
+    def __init__(
+        self,
+        initiator: NvmeOfInitiator,
+        tenant_id: str,
+        target: "NvmeOfTarget",
+        ssd_name: str,
+        policy: ClientPolicy,
+        queue_depth: int,
+    ):
+        if queue_depth <= 0:
+            raise ValueError("queue depth must be positive")
+        self.initiator = initiator
+        self.sim = initiator.sim
+        self.tenant_id = tenant_id
+        self.target = target
+        self.ssd_name = ssd_name
+        self.policy = policy
+        self.queue_depth = queue_depth
+        #: Optional NVMe namespace; installed by connect() before the
+        #: target registers the tenant.
+        self.namespace = None
+        self.inflight = 0
+        self.submitted = 0
+        self.completed = 0
+        # Pending IOs grouped by priority: when the policy gates
+        # submission, tagged latency-sensitive IOs (higher priority)
+        # go on the wire before queued bulk traffic -- the client-side
+        # half of the paper's priority tagging.
+        self._pending_by_priority: Dict[int, Deque[Tuple[FabricRequest, Optional[CompletionCallback]]]] = {}
+        self._pending_count = 0
+        policy.bind(self)
+
+    @property
+    def client_port(self):
+        return self.initiator.port
+
+    @property
+    def queued(self) -> int:
+        """IOs accepted from the application but not yet on the wire."""
+        return self._pending_count
+
+    def submit(
+        self,
+        op: IoOp,
+        lba: int,
+        npages: int,
+        priority: int = 0,
+        on_complete: Optional[CompletionCallback] = None,
+        context=None,
+    ) -> FabricRequest:
+        """Queue one IO; it goes on the wire when the policy allows."""
+        request = FabricRequest(
+            tenant_id=self.tenant_id,
+            op=op,
+            lba=lba,
+            npages=npages,
+            priority=priority,
+            context=context,
+        )
+        request.t_client_submit = self.sim.now
+        queue = self._pending_by_priority.get(priority)
+        if queue is None:
+            queue = deque()
+            self._pending_by_priority[priority] = queue
+        queue.append((request, on_complete))
+        self._pending_count += 1
+        self._try_issue()
+        return request
+
+    # ------------------------------------------------------------------
+    # Wire protocol
+    # ------------------------------------------------------------------
+    def _pop_pending(self) -> Tuple[FabricRequest, Optional[CompletionCallback]]:
+        for priority in sorted(self._pending_by_priority, reverse=True):
+            queue = self._pending_by_priority[priority]
+            if queue:
+                self._pending_count -= 1
+                item = queue.popleft()
+                if not queue:
+                    del self._pending_by_priority[priority]
+                return item
+        raise IndexError("no pending IO")
+
+    def _try_issue(self) -> None:
+        while (
+            self._pending_count
+            and self.inflight < self.queue_depth
+            and self.policy.allow()
+        ):
+            request, on_complete = self._pop_pending()
+            request.t_wire_submit = self.sim.now
+            self.inflight += 1
+            self.submitted += 1
+            self.policy.on_submit(request)
+            self.initiator.network.send(
+                self.client_port,
+                COMMAND_CAPSULE_BYTES,
+                self.target.receive_command,
+                request,
+                self,
+                on_complete,
+            )
+
+    def disconnect(self) -> None:
+        """Detach from the target.  All IO must have drained first."""
+        if self.inflight or self.queued:
+            raise RuntimeError(
+                f"cannot disconnect {self.tenant_id!r}: "
+                f"{self.inflight} inflight, {self.queued} queued"
+            )
+        self.target.pipeline(self.ssd_name).unregister_tenant(self.tenant_id)
+        if self in self.initiator.sessions:
+            self.initiator.sessions.remove(self)
+
+    def deliver_completion(
+        self, request: FabricRequest, on_complete: Optional[CompletionCallback]
+    ) -> None:
+        """Called (via the network) when the response capsule lands."""
+        request.t_client_complete = self.sim.now
+        self.inflight -= 1
+        self.completed += 1
+        self.policy.on_complete(request)
+        if on_complete is not None:
+            on_complete(request)
+        self._try_issue()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TenantSession({self.tenant_id} -> {self.target.name}/{self.ssd_name}, "
+            f"inflight={self.inflight}, queued={self.queued})"
+        )

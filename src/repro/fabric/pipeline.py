@@ -1,0 +1,186 @@
+"""Per-SSD processing pipeline on the storage node.
+
+One pipeline binds one SSD, one SmartNIC core and one scheduling
+policy -- the paper's shared-nothing design (Section 4.1).  It drives
+the five-step NVMe-over-RDMA flow:
+
+1. command capsule arrives (delivered by the network),
+2. submission-path core processing; for writes, an RDMA_READ pulls the
+   payload from the client before the request is eligible,
+3. the scheduler admits the IO to the SSD whenever its policy allows,
+4. the device completes; completion-path core processing runs; for
+   reads, the payload is RDMA_WRITTEN back inside the same booking,
+5. the response capsule returns with the scheduler's credit grant
+   piggybacked (Section 3.6's reservation-field trick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict
+
+from repro.fabric.network import Network, NetworkPort
+from repro.fabric.request import RESPONSE_CAPSULE_BYTES, FabricRequest
+from repro.fabric.smartnic import CpuCostModel, NicCore
+from repro.nvme.namespace import Namespace
+from repro.sim.engine import Simulator
+from repro.ssd.commands import DeviceCommand
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.baselines.base import StorageScheduler
+
+
+@dataclass
+class PipelineStats:
+    """Throughput counters for one pipeline."""
+
+    reads: int = 0
+    writes: int = 0
+    trims: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    by_tenant_bytes: Dict[str, int] = field(default_factory=dict)
+
+
+class SsdPipeline:
+    """Ingress/egress pipeline for a single SSD."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        device,
+        core: NicCore,
+        scheduler: "StorageScheduler",
+        cpu_model: CpuCostModel,
+        network: Network,
+        port: NetworkPort,
+        added_io_cost_us: float = 0.0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.device = device
+        self.core = core
+        self.scheduler = scheduler
+        self.cpu_model = cpu_model
+        self.network = network
+        self.port = port
+        #: Figure 16's knob: artificial per-IO processing added on the
+        #: submission path (e.g. an offloaded computation).
+        self.added_io_cost_us = added_io_cost_us
+        #: NULL backends skip the NVMe driver overhead share.
+        self.real_device = getattr(device, "ftl", None) is not None
+        self.stats = PipelineStats()
+        self._reply_routes: Dict[int, Callable[[FabricRequest], None]] = {}
+        self._client_ports: Dict[str, NetworkPort] = {}
+        self._namespaces: Dict[str, Namespace] = {}
+        scheduler.attach(self)
+
+    # ------------------------------------------------------------------
+    # Tenant management
+    # ------------------------------------------------------------------
+    def register_tenant(
+        self,
+        tenant_id: str,
+        client_port: NetworkPort,
+        weight: float = 1.0,
+        namespace: Optional[Namespace] = None,
+    ) -> None:
+        """Attach a tenant; with ``namespace`` its LBAs are
+        namespace-relative and bounds-checked on submission."""
+        self._client_ports[tenant_id] = client_port
+        if namespace is not None:
+            self._namespaces[tenant_id] = namespace
+        self.scheduler.register_tenant(tenant_id, weight)
+
+    def unregister_tenant(self, tenant_id: str) -> None:
+        """Detach a tenant whose IOs have drained."""
+        self.scheduler.unregister_tenant(tenant_id)
+        self._client_ports.pop(tenant_id, None)
+        self._namespaces.pop(tenant_id, None)
+
+    # ------------------------------------------------------------------
+    # Ingress
+    # ------------------------------------------------------------------
+    def handle_arrival(
+        self, request: FabricRequest, reply: Callable[[FabricRequest], None]
+    ) -> None:
+        """Step 1-2: capsule landed; run submission-path processing."""
+        request.t_target_arrival = self.sim.now
+        self._reply_routes[request.request_id] = reply
+        cost = (
+            self.cpu_model.submit_fixed_us
+            + self.scheduler.submit_overhead_us
+            + self.added_io_cost_us
+        )
+        if self.real_device:
+            cost += self.cpu_model.device_extra_us / 2.0
+        done = self.core.book(cost, tag="submit")
+        if request.op.is_write:
+            self.sim.at(done, self._fetch_write_data, request)
+        else:
+            self.sim.at(done, self._scheduler_enqueue, request)
+
+    def _fetch_write_data(self, request: FabricRequest) -> None:
+        """RDMA_READ the write payload from the client's memory."""
+        client_port = self._client_ports[request.tenant_id]
+        self.network.send(client_port, request.size_bytes, self._write_data_arrived, request)
+
+    def _write_data_arrived(self, request: FabricRequest) -> None:
+        # Data-path handling (DMA completion, buffer management).
+        done = self.core.book(self.cpu_model.per_page_us * request.npages, tag="datapath")
+        self.sim.at(done, self._scheduler_enqueue, request)
+
+    def _scheduler_enqueue(self, request: FabricRequest) -> None:
+        request.t_sched_enqueue = self.sim.now
+        self.scheduler.enqueue(request)
+
+    # ------------------------------------------------------------------
+    # Device boundary (called by the scheduler)
+    # ------------------------------------------------------------------
+    def device_submit(self, request: FabricRequest) -> None:
+        """Step 3: the scheduler admits this IO to the SSD now."""
+        request.t_device_submit = self.sim.now
+        namespace = self._namespaces.get(request.tenant_id)
+        if namespace is not None:
+            lpn = namespace.translate(request.lba, request.npages)
+        else:
+            lpn = request.lba
+        command = DeviceCommand(request.op, lpn, request.npages, tag=request)
+        self.device.submit(command, self._device_completed)
+
+    def _device_completed(self, command: DeviceCommand) -> None:
+        """Step 4: completion-path processing, then the response."""
+        request: FabricRequest = command.tag
+        request.t_device_complete = self.sim.now
+        self.scheduler.notify_completion(request)
+        cost = self.cpu_model.complete_fixed_us + self.scheduler.complete_overhead_us
+        if self.real_device:
+            cost += self.cpu_model.device_extra_us / 2.0
+        if request.op.is_read:
+            cost += self.cpu_model.per_page_us * request.npages
+        done = self.core.book(cost, tag="complete")
+        self.sim.at(done, self._send_response, request)
+
+    def _send_response(self, request: FabricRequest) -> None:
+        """Step 5: RDMA_WRITE read data + response capsule with credits."""
+        request.credit_grant = self.scheduler.credit_for(request.tenant_id)
+        request.virtual_view = self.scheduler.virtual_view()
+        if request.op.is_read:
+            self.stats.reads += 1
+            self.stats.read_bytes += request.size_bytes
+            wire_bytes = request.size_bytes + RESPONSE_CAPSULE_BYTES
+        elif request.op.is_trim:
+            self.stats.trims += 1
+            wire_bytes = RESPONSE_CAPSULE_BYTES
+        else:
+            self.stats.writes += 1
+            self.stats.write_bytes += request.size_bytes
+            wire_bytes = RESPONSE_CAPSULE_BYTES
+        per_tenant = self.stats.by_tenant_bytes
+        per_tenant[request.tenant_id] = per_tenant.get(request.tenant_id, 0) + request.size_bytes
+        reply = self._reply_routes.pop(request.request_id)
+        self.network.send(self.port, wire_bytes, reply, request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SsdPipeline({self.name}, scheduler={self.scheduler.name})"

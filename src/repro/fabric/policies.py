@@ -1,0 +1,143 @@
+"""Client-side flow-control policies.
+
+A :class:`ClientPolicy` gates when a tenant session may put another IO
+on the wire.  Three of the paper's mechanisms live here:
+
+* :class:`CreditClientPolicy` -- Gimbal's end-to-end credit protocol
+  (Section 3.6, Algorithm 3): submit while the target-granted credit
+  exceeds the in-flight count; credits arrive piggybacked on
+  completions.
+* :class:`PardaClientPolicy` -- PARDA's latency-driven window control
+  (the comparison scheme): a FAST-TCP-style window update from the
+  observed average end-to-end IO latency.
+* :class:`WindowClientPolicy` / :class:`UnlimitedClientPolicy` -- the
+  fixed queue-depth and uncontrolled cases.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from repro.metrics.ewma import Ewma
+from repro.fabric.request import FabricRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fabric.initiator import TenantSession
+
+
+class ClientPolicy(abc.ABC):
+    """Per-tenant-session admission gate at the initiator."""
+
+    def __init__(self) -> None:
+        self.session: Optional["TenantSession"] = None
+
+    def bind(self, session: "TenantSession") -> None:
+        if self.session is not None:
+            raise RuntimeError("policy already bound to a session")
+        self.session = session
+
+    @abc.abstractmethod
+    def allow(self) -> bool:
+        """May the session issue one more IO right now?"""
+
+    def on_submit(self, request: FabricRequest) -> None:
+        """Observe an IO going onto the wire."""
+
+    def on_complete(self, request: FabricRequest) -> None:
+        """Observe a completion (credit grants, latency samples)."""
+
+
+class UnlimitedClientPolicy(ClientPolicy):
+    """No client-side limit beyond the session queue depth."""
+
+    def allow(self) -> bool:
+        return True
+
+
+class WindowClientPolicy(ClientPolicy):
+    """A fixed window of outstanding IOs."""
+
+    def __init__(self, window: int):
+        super().__init__()
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+
+    def allow(self) -> bool:
+        return self.session.inflight < self.window
+
+
+class CreditClientPolicy(ClientPolicy):
+    """Gimbal's credit-based flow control (Algorithm 3).
+
+    ``credit_total`` is the amount of IO the target can serve for this
+    tenant without hurting QoS; the target refreshes it on every
+    completion through the response capsule's reservation field.
+    """
+
+    def __init__(self, initial_credit: int = 8):
+        super().__init__()
+        if initial_credit <= 0:
+            raise ValueError("initial credit must be positive")
+        self.credit_total = initial_credit
+
+    def allow(self) -> bool:
+        return self.credit_total > self.session.inflight
+
+    def on_complete(self, request: FabricRequest) -> None:
+        if request.credit_grant > 0:
+            self.credit_total = request.credit_grant
+
+
+class PardaClientPolicy(ClientPolicy):
+    """PARDA: adjust a window from observed average IO latency.
+
+    FAST-TCP-shaped update, evaluated once per epoch:
+
+        w <- min(2w, (1 - gamma) * w + gamma * (L / L_avg * w + alpha))
+
+    where ``L`` is the latency threshold (the operating point the
+    storage should sit at) and ``L_avg`` the EWMA of observed
+    end-to-end latencies.  The window grows while latency sits below
+    the threshold and shrinks multiplicatively once it exceeds it.
+    """
+
+    def __init__(
+        self,
+        latency_threshold_us: float = 1200.0,
+        gamma: float = 0.5,
+        alpha: float = 2.0,
+        epoch_us: float = 5000.0,
+        initial_window: float = 8.0,
+        max_window: float = 512.0,
+    ):
+        super().__init__()
+        if latency_threshold_us <= 0 or not 0 < gamma <= 1 or epoch_us <= 0:
+            raise ValueError("invalid PARDA parameters")
+        self.latency_threshold_us = latency_threshold_us
+        self.gamma = gamma
+        self.alpha = alpha
+        self.epoch_us = epoch_us
+        self.window = initial_window
+        self.max_window = max_window
+        self._latency = Ewma(alpha=0.25)
+        self._next_update_at = 0.0
+
+    def allow(self) -> bool:
+        return self.session.inflight < max(1, int(self.window))
+
+    def on_complete(self, request: FabricRequest) -> None:
+        self._latency.update(request.e2e_latency_us)
+        now = self.session.sim.now
+        if now >= self._next_update_at:
+            self._next_update_at = now + self.epoch_us
+            self._update_window()
+
+    def _update_window(self) -> None:
+        if not self._latency.initialized:
+            return
+        ratio = self.latency_threshold_us / max(self._latency.value, 1.0)
+        proposed = (1 - self.gamma) * self.window + self.gamma * (ratio * self.window + self.alpha)
+        self.window = min(2 * self.window, proposed, self.max_window)
+        self.window = max(self.window, 1.0)

@@ -1,0 +1,106 @@
+"""The end-to-end request object that flows initiator -> target -> device.
+
+One :class:`FabricRequest` carries everything the layers need: the IO
+itself, the tenant identity and priority tag (paper Section 3.5's
+per-tenant priority queues), every timestamp the latency figures
+report, and -- on the way back -- the credit grant that Gimbal
+piggybacks in the NVMe-oF completion's first reservation field
+(Section 3.6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.ssd.commands import IoOp
+
+#: NVMe-oF capsule sizes (bytes) -- submission capsule with SGL, and the
+#: 16-byte completion entry plus transport framing.
+COMMAND_CAPSULE_BYTES = 96
+RESPONSE_CAPSULE_BYTES = 32
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class FabricRequest:
+    """One NVMe-oF IO as seen end to end."""
+
+    tenant_id: str
+    op: IoOp
+    lba: int
+    npages: int
+    priority: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: Opaque cookie for the submitting application (the KV store keeps
+    #: its own context here).
+    context: Any = None
+
+    # -- timestamps (microseconds, stamped as the request progresses) --
+    t_client_submit: Optional[float] = None
+    #: When the command capsule actually went on the wire (after any
+    #: client-policy gating); fio's completion latency counts from here.
+    t_wire_submit: Optional[float] = None
+    t_target_arrival: Optional[float] = None
+    t_sched_enqueue: Optional[float] = None
+    t_device_submit: Optional[float] = None
+    t_device_complete: Optional[float] = None
+    t_client_complete: Optional[float] = None
+
+    #: Credit grant piggybacked on the completion (Gimbal's flow
+    #: control); 0 means "no credit information".
+    credit_grant: int = 0
+    #: Snapshot of the per-SSD virtual view at completion time
+    #: (read/write headroom in MB/s), if the scheduler exposes one.
+    virtual_view: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        if self.lba < 0 or self.npages <= 0:
+            raise ValueError(f"invalid IO range: lba={self.lba} npages={self.npages}")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.npages * 4096
+
+    @property
+    def device_latency_us(self) -> float:
+        """Time spent inside the SSD (what Gimbal's monitors observe)."""
+        if self.t_device_submit is None or self.t_device_complete is None:
+            raise ValueError("request has not completed device execution")
+        return self.t_device_complete - self.t_device_submit
+
+    @property
+    def target_latency_us(self) -> float:
+        """Arrival at the target to device completion (queueing + service)."""
+        if self.t_target_arrival is None or self.t_device_complete is None:
+            raise ValueError("request has not completed at the target")
+        return self.t_device_complete - self.t_target_arrival
+
+    @property
+    def e2e_latency_us(self) -> float:
+        """Client-observed latency including local queueing (slat + clat)."""
+        if self.t_client_submit is None or self.t_client_complete is None:
+            raise ValueError("request has not completed end to end")
+        return self.t_client_complete - self.t_client_submit
+
+    @property
+    def inflight_latency_us(self) -> float:
+        """Wire-issue to completion -- fio's ``clat``.
+
+        Under a closed loop the *end-to-end* average is pinned by
+        Little's law (fixed concurrency / achieved throughput), so
+        flow-control benefits show up here: schemes that gate IOs at
+        the client keep this low while uncontrolled schemes queue the
+        same IOs inside the target and the device instead.
+        """
+        if self.t_wire_submit is None or self.t_client_complete is None:
+            raise ValueError("request has not completed")
+        return self.t_client_complete - self.t_wire_submit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FabricRequest(#{self.request_id} {self.tenant_id} {self.op.value} "
+            f"lba={self.lba} npages={self.npages} prio={self.priority})"
+        )

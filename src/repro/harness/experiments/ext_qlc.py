@@ -1,0 +1,89 @@
+"""Extension study (paper Section 6): Gimbal on QLC NAND.
+
+The paper expects its techniques to carry over to QLC, whose
+read/write asymmetry is even more pronounced than TLC's.  This
+experiment runs the fragmented mixed read/write workload on the QLC
+profile (60 us programs, 2.5 ms erases) with Gimbal's parameters
+retuned the way Section 4.2 prescribes for a different medium: a
+higher worst-case write cost (the read/write IOPS ratio of the
+device) and a higher Thresh_max (slower saturation latencies).
+
+Expected shape: on the unmanaged target the writers' GC traffic
+crushes readers even harder than on TLC; Gimbal restores the read
+share while holding write latency bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core import GimbalParams
+from repro.harness.experiments.common import read_spec, run_workers, write_spec
+from repro.harness.report import format_table
+from repro.harness.testbed import TestbedConfig
+from repro.metrics.histogram import LatencyHistogram
+
+#: Section 4.2-style retuning for the QLC medium.
+QLC_GIMBAL_PARAMS = GimbalParams(
+    thresh_max_us=3000.0,
+    write_cost_worst=16.0,
+)
+
+
+def run(
+    measure_us: float = 900_000.0,
+    warmup_us: float = 500_000.0,
+    workers_per_class: int = 8,
+    schemes=("gimbal", "vanilla", "flashfq"),
+) -> Dict[str, object]:
+    rows: List[dict] = []
+    for scheme in schemes:
+        specs = [read_spec(f"rd{i}", 1) for i in range(workers_per_class)]
+        specs += [write_spec(f"wr{i}", 1) for i in range(workers_per_class)]
+        results = run_workers(
+            TestbedConfig(
+                scheme=scheme,
+                condition="fragmented",
+                device_profile="qlc",
+                gimbal_params=QLC_GIMBAL_PARAMS,
+            ),
+            specs,
+            warmup_us=warmup_us,
+            measure_us=measure_us,
+            region_pages=1600,
+        )
+        read_bw = sum(w["bandwidth_mbps"] for w in results["workers"][:workers_per_class])
+        write_bw = sum(w["bandwidth_mbps"] for w in results["workers"][workers_per_class:])
+        read_latency = LatencyHistogram()
+        for worker in results["testbed"].workers[:workers_per_class]:
+            read_latency.merge(worker.read_latency)
+        rows.append(
+            {
+                "scheme": scheme,
+                "read_mbps": read_bw,
+                "write_mbps": write_bw,
+                "read_avg_us": read_latency.mean,
+                "read_p99_us": read_latency.percentile(99.0),
+            }
+        )
+    return {"experiment": "qlc-extension", "rows": rows}
+
+
+def summarize(results: Dict[str, object]) -> str:
+    table_rows = [
+        (r["scheme"], r["read_mbps"], r["write_mbps"], r["read_avg_us"], r["read_p99_us"])
+        for r in results["rows"]
+    ]
+    return format_table(
+        ["scheme", "read MB/s", "write MB/s", "read avg us", "read p99 us"],
+        table_rows,
+        title="QLC extension: fragmented 4KB mixed R/W on QLC NAND",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(summarize(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,83 @@
+"""Figure 2: unloaded latency vs IO size, server vs SmartNIC JBOF.
+
+QD1 fio against one SSD through the NVMe-oF target, once with the x86
+server CPU model and once with the wimpy SmartNIC cores.  Paper shape:
+SmartNIC adds ~1% latency for small random reads, rising to ~20% at
+128/256 KiB; sequential writes differ by a few microseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.fabric.smartnic import SERVER_CPU, SMARTNIC_CPU
+from repro.harness.experiments.common import run_workers
+from repro.harness.report import format_table
+from repro.harness.testbed import TestbedConfig
+from repro.workloads import FioSpec
+
+#: IO sizes on the figure's x-axis, in KiB.
+IO_SIZES_KB = (4, 8, 16, 32, 128, 256)
+
+
+def run(measure_us: float = 300_000.0) -> Dict[str, object]:
+    rows: List[dict] = []
+    for host, cpu_model in (("server", SERVER_CPU), ("smartnic", SMARTNIC_CPU)):
+        for size_kb in IO_SIZES_KB:
+            io_pages = size_kb // 4
+            for op_name, spec in (
+                (
+                    "rnd-read",
+                    FioSpec("w0", io_pages=io_pages, queue_depth=1, read_ratio=1.0),
+                ),
+                (
+                    "seq-write",
+                    FioSpec(
+                        "w0",
+                        io_pages=io_pages,
+                        queue_depth=1,
+                        read_ratio=0.0,
+                        pattern="sequential",
+                    ),
+                ),
+            ):
+                results = run_workers(
+                    TestbedConfig(scheme="vanilla", condition="clean", cpu_model=cpu_model),
+                    [spec],
+                    warmup_us=50_000.0,
+                    measure_us=measure_us,
+                    region_pages=8192,
+                )
+                worker = results["workers"][0]
+                latency = (
+                    worker["read_latency"] if op_name == "rnd-read" else worker["write_latency"]
+                )
+                rows.append(
+                    {
+                        "host": host,
+                        "op": op_name,
+                        "size_kb": size_kb,
+                        "avg_latency_us": latency["mean"],
+                    }
+                )
+    return {"figure": "2", "rows": rows}
+
+
+def summarize(results: Dict[str, object]) -> str:
+    table_rows = [
+        (row["host"], row["op"], row["size_kb"], row["avg_latency_us"])
+        for row in results["rows"]
+    ]
+    return format_table(
+        ["host", "op", "size_KB", "avg_latency_us"],
+        table_rows,
+        title="Figure 2: unloaded latency vs IO size (server vs SmartNIC)",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(summarize(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

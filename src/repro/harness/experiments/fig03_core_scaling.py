@@ -1,0 +1,76 @@
+"""Figure 3: throughput vs number of cores, server vs SmartNIC JBOF.
+
+Four SSDs, deep queues, sweeping the target's core count.  Paper
+shape: the server saturates ~1.5 MIOPS of 4 KiB random reads with 2
+cores; the SmartNIC needs ~3 of its wimpy cores for the same traffic;
+one core suffices at 128 KiB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.fabric.smartnic import SERVER_CPU, SMARTNIC_CPU
+from repro.harness.experiments.common import run_workers
+from repro.harness.report import format_table
+from repro.harness.testbed import TestbedConfig
+from repro.workloads import FioSpec
+
+CORE_COUNTS = (1, 2, 3, 4, 6, 8)
+NUM_SSDS = 4
+WORKERS_PER_SSD = 2
+
+
+def run(measure_us: float = 300_000.0, core_counts=CORE_COUNTS) -> Dict[str, object]:
+    rows: List[dict] = []
+    for host, cpu_model in (("server", SERVER_CPU), ("smartnic", SMARTNIC_CPU)):
+        for cores in core_counts:
+            for op_name, read_ratio, pattern in (
+                ("rnd-read", 1.0, "random"),
+                ("seq-write", 0.0, "sequential"),
+            ):
+                config = TestbedConfig(
+                    scheme="vanilla",
+                    condition="clean",
+                    num_ssds=NUM_SSDS,
+                    num_cores=cores,
+                    cpu_model=cpu_model,
+                )
+                from repro.harness.testbed import Testbed
+
+                testbed = Testbed(config)
+                for ssd_index in range(NUM_SSDS):
+                    for worker_index in range(WORKERS_PER_SSD):
+                        spec = FioSpec(
+                            f"{op_name}-{ssd_index}-{worker_index}",
+                            io_pages=1,
+                            queue_depth=64,
+                            read_ratio=read_ratio,
+                            pattern=pattern,
+                        )
+                        testbed.add_worker(spec, ssd=f"ssd{ssd_index}", region_pages=4096)
+                results = testbed.run(warmup_us=100_000.0, measure_us=measure_us)
+                kiops = sum(worker["iops"] for worker in results["workers"]) / 1000.0
+                rows.append(
+                    {"host": host, "op": op_name, "cores": cores, "kiops": kiops}
+                )
+    return {"figure": "3", "rows": rows}
+
+
+def summarize(results: Dict[str, object]) -> str:
+    table_rows = [
+        (row["host"], row["op"], row["cores"], row["kiops"]) for row in results["rows"]
+    ]
+    return format_table(
+        ["host", "op", "cores", "KIOPS"],
+        table_rows,
+        title="Figure 3: 4KB throughput vs core count (4 SSDs)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(summarize(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

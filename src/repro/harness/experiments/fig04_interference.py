@@ -1,0 +1,64 @@
+"""Figure 4: multi-tenant interference on an unmanaged (vanilla) target.
+
+A victim flow (4 KiB random reads, QD32) shares one SSD with one
+neighbour of varying shape.  Paper shape: intensity wins regardless of
+size or pattern -- the QD128 neighbour takes ~3x the victim's share --
+and a write neighbour costs the victim ~59% of its bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.harness.experiments.common import run_workers
+from repro.harness.report import format_table
+from repro.harness.testbed import TestbedConfig
+from repro.workloads import FioSpec
+
+#: Neighbour shapes on the figure's x-axis.
+NEIGHBOURS = (
+    ("4KB-RD-QD32", FioSpec("nbr", io_pages=1, queue_depth=32, read_ratio=1.0)),
+    ("4KB-RD-QD128", FioSpec("nbr", io_pages=1, queue_depth=128, read_ratio=1.0)),
+    ("128KB-RD-QD1", FioSpec("nbr", io_pages=32, queue_depth=1, read_ratio=1.0)),
+    ("128KB-RD-QD8", FioSpec("nbr", io_pages=32, queue_depth=8, read_ratio=1.0)),
+    ("4KB-WR-QD32", FioSpec("nbr", io_pages=1, queue_depth=32, read_ratio=0.0)),
+    ("4KB-WR-QD128", FioSpec("nbr", io_pages=1, queue_depth=128, read_ratio=0.0)),
+)
+
+VICTIM = FioSpec("victim", io_pages=1, queue_depth=32, read_ratio=1.0)
+
+
+def run(measure_us: float = 600_000.0, condition: str = "clean") -> Dict[str, object]:
+    rows: List[dict] = []
+    for label, neighbour in NEIGHBOURS:
+        results = run_workers(
+            TestbedConfig(scheme="vanilla", condition=condition),
+            [VICTIM, neighbour],
+            measure_us=measure_us,
+            region_pages=8192,
+        )
+        victim_bw, neighbour_bw = (w["bandwidth_mbps"] for w in results["workers"])
+        rows.append(
+            {"neighbour": label, "victim_mbps": victim_bw, "neighbour_mbps": neighbour_bw}
+        )
+    return {"figure": "4", "condition": condition, "rows": rows}
+
+
+def summarize(results: Dict[str, object]) -> str:
+    table_rows = [
+        (row["neighbour"], row["victim_mbps"], row["neighbour_mbps"])
+        for row in results["rows"]
+    ]
+    return format_table(
+        ["neighbour flow", "victim MB/s", "neighbour MB/s"],
+        table_rows,
+        title="Figure 4: interference against a 4KB-RD-QD32 victim (vanilla target)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(summarize(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,86 @@
+"""Figure 6: device utilisation under uniform tenants, per scheme.
+
+16 workers of the *same* workload per run, across the four cases the
+paper plots: 128 KiB on Clean-SSD (read, write) and 4 KiB on
+Fragment-SSD (read, write).  Paper shape: Gimbal tracks FlashFQ's
+aggregate bandwidth (both near device max) while ReFlex collapses
+clean writes (~x6.6) and Parda under-reads the fragmented device
+(~x2.6); Gimbal's credit flow control keeps average latency far below
+the work-conserving schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.harness.experiments.common import read_spec, run_workers, write_spec
+from repro.harness.report import format_table
+from repro.harness.testbed import SCHEMES, TestbedConfig
+
+#: (label, condition, io_pages, is_read)
+CASES = (
+    ("C-R", "clean", 32, True),
+    ("C-W", "clean", 32, False),
+    ("F-R", "fragmented", 1, True),
+    ("F-W", "fragmented", 1, False),
+)
+
+NUM_WORKERS = 16
+
+
+def run(
+    measure_us: float = 1_000_000.0,
+    warmup_us: float = 500_000.0,
+    schemes=SCHEMES,
+    num_workers: int = NUM_WORKERS,
+) -> Dict[str, object]:
+    rows: List[dict] = []
+    for label, condition, io_pages, is_read in CASES:
+        for scheme in schemes:
+            make = read_spec if is_read else write_spec
+            specs = [make(f"w{i}", io_pages) for i in range(num_workers)]
+            results = run_workers(
+                TestbedConfig(scheme=scheme, condition=condition),
+                specs,
+                warmup_us=warmup_us,
+                measure_us=measure_us,
+                region_pages=1600,
+            )
+            latency_key = "read_latency" if is_read else "write_latency"
+            total_count = sum(w[latency_key]["count"] for w in results["workers"])
+            mean_latency = (
+                sum(w[latency_key]["mean"] * w[latency_key]["count"] for w in results["workers"])
+                / total_count
+                if total_count
+                else 0.0
+            )
+            rows.append(
+                {
+                    "case": label,
+                    "scheme": scheme,
+                    "aggregate_mbps": results["total_bandwidth_mbps"],
+                    "avg_latency_us": mean_latency,
+                }
+            )
+    return {"figure": "6", "rows": rows}
+
+
+def summarize(results: Dict[str, object]) -> str:
+    table_rows = [
+        (row["case"], row["scheme"], row["aggregate_mbps"], row["avg_latency_us"])
+        for row in results["rows"]
+    ]
+    return format_table(
+        ["case", "scheme", "aggregate MB/s", "avg latency us"],
+        table_rows,
+        title="Figure 6: utilisation with 16 identical workers "
+        "(C=clean 128KB, F=fragmented 4KB)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(summarize(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

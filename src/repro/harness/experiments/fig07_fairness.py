@@ -1,0 +1,108 @@
+"""Figure 7: fairness across mixed workloads (bandwidth and f-Util).
+
+Three sub-experiments per scheme:
+
+* (a/d)  Clean-SSD, mixed IO sizes: 16 workers of 4 KiB random read
+  plus 4 workers of 128 KiB random read.
+* (b/e)  Clean-SSD, mixed IO types: 16 readers + 16 writers, 128 KiB.
+* (c/f)  Fragment-SSD, mixed IO types: 16 readers + 16 writers, 4 KiB.
+
+Paper shape: Gimbal lands every class's f-Util closest to 1 (it pays
+128 KiB IOs their real discount and writes their real cost); ReFlex
+crushes clean writes; FlashFQ serves reads and writes identically;
+Parda starves fragmented reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.harness.experiments.common import f_utils_for, read_spec, run_workers, write_spec
+from repro.harness.report import format_table
+from repro.harness.testbed import SCHEMES, TestbedConfig
+
+
+def _mixed_size_specs(n_small: int, n_large: int):
+    specs = [read_spec(f"small{i}", 1) for i in range(n_small)]
+    specs += [read_spec(f"large{i}", 32) for i in range(n_large)]
+    groups = ["4KB"] * n_small + ["128KB"] * n_large
+    return specs, groups
+
+
+def _mixed_type_specs(io_pages: int, n_each: int):
+    specs = [read_spec(f"rd{i}", io_pages) for i in range(n_each)]
+    specs += [write_spec(f"wr{i}", io_pages) for i in range(n_each)]
+    groups = ["read"] * n_each + ["write"] * n_each
+    return specs, groups
+
+
+SUBEXPERIMENTS = {
+    "a": ("clean", "mixed sizes: 16x4KB + 4x128KB read", lambda s: _mixed_size_specs(16 * s // 16, max(1, 4 * s // 16))),
+    "b": ("clean", "mixed types: 128KB read vs write", lambda s: _mixed_type_specs(32, s)),
+    "c": ("fragmented", "mixed types: 4KB read vs write", lambda s: _mixed_type_specs(1, s)),
+}
+
+
+def run(
+    measure_us: float = 1_500_000.0,
+    warmup_us: float = 700_000.0,
+    schemes=SCHEMES,
+    workers_per_class: int = 16,
+) -> Dict[str, object]:
+    rows: List[dict] = []
+    for sub, (condition, description, make_specs) in SUBEXPERIMENTS.items():
+        for scheme in schemes:
+            specs, groups = make_specs(workers_per_class)
+            results = run_workers(
+                TestbedConfig(scheme=scheme, condition=condition),
+                specs,
+                warmup_us=warmup_us,
+                measure_us=measure_us,
+                region_pages=1600,
+            )
+            futils = f_utils_for(results, specs, condition)
+            by_group: Dict[str, dict] = {}
+            for worker, group, value in zip(results["workers"], groups, futils):
+                bucket = by_group.setdefault(group, {"mbps": 0.0, "futil": [], "n": 0})
+                bucket["mbps"] += worker["bandwidth_mbps"]
+                bucket["futil"].append(value)
+                bucket["n"] += 1
+            for group, bucket in by_group.items():
+                rows.append(
+                    {
+                        "sub": sub,
+                        "condition": condition,
+                        "scheme": scheme,
+                        "class": group,
+                        "aggregate_mbps": bucket["mbps"],
+                        "per_worker_mbps": bucket["mbps"] / bucket["n"],
+                        "f_util": sum(bucket["futil"]) / bucket["n"],
+                    }
+                )
+    return {"figure": "7", "rows": rows}
+
+
+def summarize(results: Dict[str, object]) -> str:
+    table_rows = [
+        (
+            row["sub"],
+            row["scheme"],
+            row["class"],
+            row["aggregate_mbps"],
+            row["f_util"],
+        )
+        for row in results["rows"]
+    ]
+    return format_table(
+        ["sub", "scheme", "class", "aggregate MB/s", "f-Util"],
+        table_rows,
+        title="Figure 7: fairness (a=clean sizes, b=clean R/W 128KB, c=frag R/W 4KB)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(summarize(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

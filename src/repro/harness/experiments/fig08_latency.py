@@ -1,0 +1,81 @@
+"""Figure 8: read/write latency percentiles under mixed R/W load.
+
+The same workloads as Figure 7b (clean, 128 KiB) and 7c (fragmented,
+4 KiB): 16 readers + 16 writers, reporting end-to-end average, p99 and
+p99.9 per IO type per scheme.  Paper shape: Gimbal cuts the p99 of
+reads and writes roughly in half versus Parda and by an order of
+magnitude versus the uncontrolled schemes (ReFlex/FlashFQ), because
+credits bound the number of outstanding IOs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.harness.experiments.common import read_spec, run_workers, write_spec
+from repro.harness.report import format_table
+from repro.harness.testbed import SCHEMES, TestbedConfig
+from repro.metrics.histogram import LatencyHistogram
+
+CASES = (
+    ("clean-128KB", "clean", 32),
+    ("frag-4KB", "fragmented", 1),
+)
+
+
+def run(
+    measure_us: float = 1_500_000.0,
+    warmup_us: float = 700_000.0,
+    schemes=SCHEMES,
+    workers_per_class: int = 16,
+) -> Dict[str, object]:
+    rows: List[dict] = []
+    for label, condition, io_pages in CASES:
+        for scheme in schemes:
+            specs = [read_spec(f"rd{i}", io_pages) for i in range(workers_per_class)]
+            specs += [write_spec(f"wr{i}", io_pages) for i in range(workers_per_class)]
+            results = run_workers(
+                TestbedConfig(scheme=scheme, condition=condition),
+                specs,
+                warmup_us=warmup_us,
+                measure_us=measure_us,
+                region_pages=1600,
+            )
+            testbed = results["testbed"]
+            merged = {"read": LatencyHistogram(), "write": LatencyHistogram()}
+            for worker in testbed.workers:
+                merged["read"].merge(worker.read_latency)
+                merged["write"].merge(worker.write_latency)
+            for op_name, histogram in merged.items():
+                summary = histogram.summary()
+                rows.append(
+                    {
+                        "case": label,
+                        "scheme": scheme,
+                        "op": op_name,
+                        "avg_us": summary["mean"],
+                        "p99_us": summary["p99"],
+                        "p999_us": summary["p999"],
+                    }
+                )
+    return {"figure": "8", "rows": rows}
+
+
+def summarize(results: Dict[str, object]) -> str:
+    table_rows = [
+        (row["case"], row["scheme"], row["op"], row["avg_us"], row["p99_us"], row["p999_us"])
+        for row in results["rows"]
+    ]
+    return format_table(
+        ["case", "scheme", "op", "avg us", "p99 us", "p99.9 us"],
+        table_rows,
+        title="Figure 8: latency under mixed read/write (16+16 workers)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(summarize(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

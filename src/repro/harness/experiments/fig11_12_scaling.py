@@ -1,0 +1,60 @@
+"""Figures 11 & 12: throughput and read latency vs DB instance count.
+
+Gimbal-configured JBOFs, sweeping the number of RocksDB instances.
+Paper shape: throughput grows with instances until the JBOFs saturate
+(A/B/D flatten around 20 instances, F around 16), while average read
+latency creeps up with consolidation; the read-only workload C scales
+furthest.
+
+Scaled defaults sweep 1..6 instances over one JBOF (the paper sweeps
+4..24 over three).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.harness.experiments.fig10_rocksdb import run_one
+from repro.harness.report import format_table
+
+DEFAULT_SWEEP = (1, 2, 4, 6)
+
+
+def run(
+    workloads: Sequence[str] = ("A", "C", "F"),
+    instance_counts: Sequence[int] = DEFAULT_SWEEP,
+    **kwargs,
+) -> Dict[str, object]:
+    rows: List[dict] = []
+    for workload in workloads:
+        for count in instance_counts:
+            result = run_one("gimbal", workload, instances=count, **kwargs)
+            rows.append(
+                {
+                    "workload": workload,
+                    "instances": count,
+                    "kops": result["kops"],
+                    "read_avg_us": result["read_avg_us"],
+                }
+            )
+    return {"figure": "11+12", "rows": rows}
+
+
+def summarize(results: Dict[str, object]) -> str:
+    table_rows = [
+        (row["workload"], row["instances"], row["kops"], row["read_avg_us"])
+        for row in results["rows"]
+    ]
+    return format_table(
+        ["YCSB", "instances", "KOPS", "read avg us"],
+        table_rows,
+        title="Figures 11/12: scaling the number of DB instances (Gimbal)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(summarize(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,78 @@
+"""Section 5.8: generalisation to a different SSD (Intel DC P3600).
+
+Reruns the Figure 7-style mixed read/write fairness experiments on the
+P3600 device profile with Gimbal's Thresh_max retuned to 3 ms (the
+paper's adjustment for the P3600's higher large-read tail latency).
+Paper shape: f-Utils stay close to the DCT983 case -- ~0.6-0.7 for the
+clean condition and ~0.6-0.9 for the fragmented one -- i.e. Gimbal
+adapts to the device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.config import P3600_PARAMS
+from repro.harness.experiments.common import f_utils_for, read_spec, run_workers, write_spec
+from repro.harness.report import format_table
+from repro.harness.testbed import TestbedConfig
+
+
+def run(
+    measure_us: float = 1_200_000.0,
+    warmup_us: float = 600_000.0,
+    workers_per_class: int = 8,
+) -> Dict[str, object]:
+    rows: List[dict] = []
+    for condition, io_pages in (("clean", 32), ("fragmented", 1)):
+        specs = [read_spec(f"rd{i}", io_pages) for i in range(workers_per_class)]
+        specs += [write_spec(f"wr{i}", io_pages) for i in range(workers_per_class)]
+        results = run_workers(
+            TestbedConfig(
+                scheme="gimbal",
+                condition=condition,
+                device_profile="p3600",
+                gimbal_params=P3600_PARAMS,
+            ),
+            specs,
+            warmup_us=warmup_us,
+            measure_us=measure_us,
+            region_pages=1600,
+        )
+        futils = f_utils_for(results, specs, condition, device_profile="p3600")
+        read_futil = sum(futils[:workers_per_class]) / workers_per_class
+        write_futil = sum(futils[workers_per_class:]) / workers_per_class
+        rows.append(
+            {
+                "condition": condition,
+                "read_futil": read_futil,
+                "write_futil": write_futil,
+                "read_mbps": sum(
+                    w["bandwidth_mbps"] for w in results["workers"][:workers_per_class]
+                ),
+                "write_mbps": sum(
+                    w["bandwidth_mbps"] for w in results["workers"][workers_per_class:]
+                ),
+            }
+        )
+    return {"section": "5.8", "rows": rows}
+
+
+def summarize(results: Dict[str, object]) -> str:
+    table_rows = [
+        (r["condition"], r["read_futil"], r["write_futil"], r["read_mbps"], r["write_mbps"])
+        for r in results["rows"]
+    ]
+    return format_table(
+        ["condition", "read f-Util", "write f-Util", "read MB/s", "write MB/s"],
+        table_rows,
+        title="Section 5.8: Gimbal on the Intel P3600 profile (Thresh_max = 3ms)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(summarize(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,242 @@
+"""Multi-JBOF cluster for the RocksDB case study (Sections 4.3, 5.6).
+
+Builds the paper's application testbed: several SmartNIC JBOFs, a
+shared rack-level blob allocator, and N DB instances, each an LSM tree
+over a replicated blobstore with per-(instance, SSD) tenant sessions.
+
+Three client-side switches reproduce Figure 13's ablation:
+
+* ``flow_control`` -- sessions use the credit policy (the IO rate
+  limiter); off = unlimited submission;
+* ``load_balance`` -- reads steered to the least-loaded replica;
+* replication itself is always on (fault tolerance), as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fabric import (
+    CreditClientPolicy,
+    Network,
+    NvmeOfInitiator,
+    NvmeOfTarget,
+    PardaClientPolicy,
+    UnlimitedClientPolicy,
+)
+from repro.harness.testbed import SCHEMES
+from repro.kv import (
+    Blobstore,
+    GlobalBlobAllocator,
+    LocalBlobAllocator,
+    LsmConfig,
+    LsmTree,
+    RemoteBackend,
+    YcsbRunner,
+)
+from repro.sim import RngRegistry, Simulator
+from repro.ssd import SsdDevice, SsdGeometry, precondition_clean, precondition_fragmented
+from repro.workloads.patterns import AddressRegion
+from repro.workloads.ycsb import YCSB_WORKLOADS
+
+from repro.baselines import FifoScheduler, FlashFqScheduler, ReflexScheduler
+from repro.core import GimbalScheduler
+
+
+@dataclass
+class KvClusterConfig:
+    """Cluster shape and scheme selection."""
+
+    __test__ = False
+
+    scheme: str = "gimbal"
+    condition: str = "fragmented"
+    num_jbofs: int = 3
+    ssds_per_jbof: int = 4
+    geometry: SsdGeometry = field(default_factory=SsdGeometry)
+    #: Client-side credit flow control (Figure 13's "+FC").
+    flow_control: Optional[bool] = None  # None = scheme default
+    #: Read load balancing across replicas (Figure 13's "+LB").
+    load_balance: bool = True
+    mega_pages: int = 2048
+    micro_pages: int = 64
+    lsm: LsmConfig = field(default_factory=LsmConfig)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.num_jbofs <= 0 or self.ssds_per_jbof <= 0:
+            raise ValueError("cluster must have at least one SSD")
+
+
+class KvCluster:
+    """The rack: JBOF targets plus DB instances."""
+
+    __test__ = False
+
+    def __init__(self, config: KvClusterConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.rngs = RngRegistry(config.seed)
+        self.network = Network(self.sim)
+        self.targets: List[NvmeOfTarget] = []
+        #: backend name ("jbofX/ssdY") -> all RemoteBackends touching it.
+        self._backends_by_ssd: Dict[str, List[RemoteBackend]] = {}
+        self.global_allocator = GlobalBlobAllocator(
+            mega_pages=config.mega_pages, load_of=self._ssd_load
+        )
+        for jbof_index in range(config.num_jbofs):
+            devices = {}
+            for ssd_index in range(config.ssds_per_jbof):
+                device = SsdDevice(
+                    self.sim, geometry=config.geometry, name=f"ssd{ssd_index}"
+                )
+                if config.condition == "clean":
+                    precondition_clean(device)
+                elif config.condition == "fragmented":
+                    precondition_fragmented(device)
+                devices[f"ssd{ssd_index}"] = device
+            target = NvmeOfTarget(
+                self.sim,
+                self.network,
+                f"jbof{jbof_index}",
+                devices,
+                scheduler_factory=self._scheduler_factory(),
+            )
+            self.targets.append(target)
+            for ssd_name, device in devices.items():
+                backend_name = f"{target.name}/{ssd_name}"
+                self._backends_by_ssd[backend_name] = []
+                self.global_allocator.register_backend(
+                    backend_name, AddressRegion(0, device.exported_pages)
+                )
+        self.runners: List[YcsbRunner] = []
+
+    # ------------------------------------------------------------------
+    # Scheme wiring
+    # ------------------------------------------------------------------
+    def _scheduler_factory(self):
+        scheme = self.config.scheme
+        if scheme == "gimbal":
+            return GimbalScheduler
+        if scheme == "reflex":
+            return ReflexScheduler
+        if scheme == "flashfq":
+            return FlashFqScheduler
+        return FifoScheduler
+
+    def _client_policy(self):
+        scheme = self.config.scheme
+        flow_control = self.config.flow_control
+        if flow_control is None:
+            flow_control = scheme == "gimbal"
+        if scheme == "gimbal" and flow_control:
+            return CreditClientPolicy()
+        if scheme == "parda":
+            return PardaClientPolicy()
+        return UnlimitedClientPolicy()
+
+    def _ssd_load(self, backend_name: str) -> float:
+        """Aggregate load of one SSD across every instance touching it."""
+        backends = self._backends_by_ssd.get(backend_name, [])
+        if not backends:
+            return 0.0
+        return sum(backend.load_score for backend in backends)
+
+    # ------------------------------------------------------------------
+    # Instances
+    # ------------------------------------------------------------------
+    def add_instance(
+        self,
+        name: str,
+        workload: str,
+        record_count: int = 2048,
+        concurrency: int = 4,
+    ) -> YcsbRunner:
+        """One DB instance with sessions to every SSD in the rack."""
+        initiator = NvmeOfInitiator(self.sim, self.network, f"client-{name}")
+        backends: Dict[str, RemoteBackend] = {}
+        for target in self.targets:
+            for ssd_name in target.ssd_names:
+                backend_name = f"{target.name}/{ssd_name}"
+                session = initiator.connect(
+                    tenant_id=f"{name}@{backend_name}",
+                    target=target,
+                    ssd_name=ssd_name,
+                    policy=self._client_policy(),
+                    queue_depth=64,
+                )
+                backend = RemoteBackend(backend_name, session)
+                backends[backend_name] = backend
+                self._backends_by_ssd[backend_name].append(backend)
+        allocator = LocalBlobAllocator(self.global_allocator, self.config.micro_pages)
+        store = Blobstore(
+            allocator,
+            backends,
+            replicate=True,
+            load_balance_reads=self.config.load_balance,
+        )
+        tree = LsmTree(
+            name,
+            store,
+            self.sim,
+            config=self.config.lsm,
+            rng=self.rngs.stream(f"lsm:{name}"),
+        )
+        runner = YcsbRunner(
+            tree,
+            YCSB_WORKLOADS[workload],
+            record_count=record_count,
+            rng=self.rngs.stream(f"ycsb:{name}"),
+            concurrency=concurrency,
+        )
+        self.runners.append(runner)
+        return runner
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def load_all(self) -> None:
+        """Run the YCSB load phase for every instance.
+
+        Loading is the only activity, so the event heap drains exactly
+        when every instance has finished inserting its records.
+        """
+        remaining = {"count": len(self.runners)}
+
+        def one_loaded() -> None:
+            remaining["count"] -= 1
+
+        for runner in self.runners:
+            runner.load(one_loaded)
+        self.sim.run()
+        if remaining["count"]:
+            raise RuntimeError(f"{remaining['count']} instances did not finish loading")
+
+    def run(self, warmup_us: float, measure_us: float) -> Dict[str, object]:
+        start = self.sim.now
+        for runner in self.runners:
+            runner.start()
+        self.sim.run(until_us=start + warmup_us)
+        for runner in self.runners:
+            runner.begin_measurement()
+        self.sim.run(until_us=start + warmup_us + measure_us)
+        per_instance = [runner.results() for runner in self.runners]
+        read_summaries = [r["read_latency"] for r in per_instance if r["read_latency"]["count"]]
+        total_kops = sum(r["kops"] for r in per_instance)
+        mean_read = (
+            sum(s["mean"] * s["count"] for s in read_summaries)
+            / max(1.0, sum(s["count"] for s in read_summaries))
+            if read_summaries
+            else 0.0
+        )
+        p999 = max((s["p999"] for s in read_summaries), default=0.0)
+        return {
+            "scheme": self.config.scheme,
+            "instances": per_instance,
+            "total_kops": total_kops,
+            "read_avg_us": mean_read,
+            "read_p999_us": p999,
+        }

@@ -1,0 +1,153 @@
+"""Hierarchical blob allocator (paper Section 4.3).
+
+Two levels:
+
+* the **global allocator** owns each backend's storage region, divides
+  it into *mega blobs* (large contiguous chunks; 4 GB in the paper,
+  scaled down here with the device), and tracks availability with a
+  bitmap;
+* each DB instance runs a **local allocator** that carves mega blobs
+  into *micro blobs* (256 KiB) and maintains a free list, only calling
+  into the global allocator when its local pool runs dry.
+
+Both levels are load-aware: given a choice of backends, they pick the
+one whose SSD currently advertises the most credit (the least load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.workloads.patterns import AddressRegion
+
+
+@dataclass(frozen=True)
+class BlobAddress:
+    """<NVMe transport identifier, start LBA, LBA count> of one blob."""
+
+    backend: str
+    lba: int
+    npages: int
+
+    def __post_init__(self) -> None:
+        if self.lba < 0 or self.npages <= 0:
+            raise ValueError("invalid blob address")
+
+
+class _BackendPool:
+    """Bitmap of mega-blob slots within one backend's region."""
+
+    def __init__(self, region: AddressRegion, mega_pages: int):
+        self.region = region
+        self.mega_pages = mega_pages
+        self.slots = region.npages // mega_pages
+        if self.slots == 0:
+            raise ValueError("region smaller than one mega blob")
+        self.free = [True] * self.slots
+
+    def allocate(self) -> Optional[int]:
+        for index, available in enumerate(self.free):
+            if available:
+                self.free[index] = False
+                return self.region.start + index * self.mega_pages
+        return None
+
+    def release(self, lba: int) -> None:
+        index = (lba - self.region.start) // self.mega_pages
+        if not 0 <= index < self.slots or self.free[index]:
+            raise ValueError(f"bad mega blob free at lba {lba}")
+        self.free[index] = True
+
+    @property
+    def available(self) -> int:
+        return sum(self.free)
+
+
+class GlobalBlobAllocator:
+    """Rack-scale mega-blob allocation across a pool of backends."""
+
+    def __init__(self, mega_pages: int = 2048, load_of: Optional[Callable[[str], float]] = None):
+        """``load_of(backend)`` returns a load score (lower = less
+        loaded); defaults to round-robin-ish zero load."""
+        if mega_pages <= 0:
+            raise ValueError("mega blob size must be positive")
+        self.mega_pages = mega_pages
+        self.load_of = load_of or (lambda backend: 0.0)
+        self._pools: Dict[str, _BackendPool] = {}
+
+    def register_backend(self, name: str, region: AddressRegion) -> None:
+        if name in self._pools:
+            raise ValueError(f"backend {name!r} already registered")
+        self._pools[name] = _BackendPool(region, self.mega_pages)
+
+    @property
+    def backends(self) -> List[str]:
+        return list(self._pools)
+
+    def allocate_mega(self, exclude: Optional[set] = None) -> BlobAddress:
+        """Allocate one mega blob from the least-loaded backend."""
+        candidates = [
+            name
+            for name, pool in self._pools.items()
+            if pool.available > 0 and (exclude is None or name not in exclude)
+        ]
+        if not candidates:
+            raise RuntimeError("global blob pool exhausted")
+        best = min(candidates, key=self.load_of)
+        lba = self._pools[best].allocate()
+        assert lba is not None
+        return BlobAddress(best, lba, self.mega_pages)
+
+    def free_mega(self, address: BlobAddress) -> None:
+        self._pools[address.backend].release(address.lba)
+
+    def available_megas(self, backend: str) -> int:
+        return self._pools[backend].available
+
+
+class LocalBlobAllocator:
+    """Per-DB micro-blob allocation over locally held mega blobs."""
+
+    def __init__(self, global_allocator: GlobalBlobAllocator, micro_pages: int = 64):
+        if micro_pages <= 0:
+            raise ValueError("micro blob size must be positive")
+        if global_allocator.mega_pages % micro_pages != 0:
+            raise ValueError("mega blob size must be a multiple of the micro blob size")
+        self.global_allocator = global_allocator
+        self.micro_pages = micro_pages
+        #: Free micro blobs, grouped per backend for placement control.
+        self._free: Dict[str, List[BlobAddress]] = {}
+        self._held_megas: List[BlobAddress] = []
+
+    def _refill(self, exclude: Optional[set] = None) -> None:
+        mega = self.global_allocator.allocate_mega(exclude)
+        self._held_megas.append(mega)
+        pieces = self._free.setdefault(mega.backend, [])
+        for offset in range(0, mega.npages, self.micro_pages):
+            pieces.append(BlobAddress(mega.backend, mega.lba + offset, self.micro_pages))
+
+    def allocate_micro(
+        self, exclude_backends: Optional[set] = None, prefer_least_loaded: bool = True
+    ) -> BlobAddress:
+        """One micro blob, optionally avoiding some backends (replica
+        placement needs two *different* backends)."""
+        exclude = exclude_backends or set()
+        candidates = [name for name, pool in self._free.items() if pool and name not in exclude]
+        if not candidates:
+            self._refill(exclude)
+            candidates = [
+                name for name, pool in self._free.items() if pool and name not in exclude
+            ]
+        if prefer_least_loaded:
+            best = min(candidates, key=self.global_allocator.load_of)
+        else:
+            best = candidates[0]
+        return self._free[best].pop()
+
+    def free_micro(self, address: BlobAddress) -> None:
+        self._free.setdefault(address.backend, []).append(address)
+
+    @property
+    def free_micros(self) -> int:
+        return sum(len(pool) for pool in self._free.values())

@@ -1,0 +1,135 @@
+"""YCSB driver for one LSM instance.
+
+Runs the paper's Section 5.6 methodology: load ``record_count``
+records, then issue the workload mix closed-loop at a configurable
+concurrency, recording per-operation latency (reads and updates
+separately -- the figures report read latency) and total throughput.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.kv.lsm import LsmTree
+from repro.metrics.histogram import LatencyHistogram
+from repro.metrics.throughput import ThroughputMonitor
+from repro.workloads.ycsb import YcsbOp, YcsbSpec, YcsbWorkloadGenerator
+
+
+class YcsbRunner:
+    """Closed-loop YCSB client for one DB instance."""
+
+    def __init__(
+        self,
+        tree: LsmTree,
+        spec: YcsbSpec,
+        record_count: int,
+        rng: random.Random,
+        concurrency: int = 4,
+    ):
+        if concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        self.tree = tree
+        self.sim = tree.sim
+        self.spec = spec
+        self.record_count = record_count
+        self.concurrency = concurrency
+        self.generator = YcsbWorkloadGenerator(spec, record_count, rng)
+        self.read_latency = LatencyHistogram()
+        self.update_latency = LatencyHistogram()
+        self.ops = ThroughputMonitor()
+        self.running = False
+        self.loaded = False
+
+    # ------------------------------------------------------------------
+    # Load phase
+    # ------------------------------------------------------------------
+    def load(self, on_done: Callable[[], None], batch: int = 8) -> None:
+        """Insert all records (the YCSB load phase), then ``on_done``."""
+        state = {"next": 0, "inflight": 0, "done": False}
+
+        def pump() -> None:
+            while state["next"] < self.record_count and state["inflight"] < batch:
+                key = state["next"]
+                state["next"] += 1
+                state["inflight"] += 1
+                self.tree.put(key, one_done)
+            if (
+                state["next"] >= self.record_count
+                and state["inflight"] == 0
+                and not state["done"]
+            ):
+                state["done"] = True
+                self.loaded = True
+                on_done()
+
+        def one_done() -> None:
+            state["inflight"] -= 1
+            pump()
+
+        pump()
+
+    # ------------------------------------------------------------------
+    # Run phase
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.ops.start(self.sim.now)
+        for _ in range(self.concurrency):
+            self._next_op()
+
+    def stop(self) -> None:
+        self.running = False
+
+    def begin_measurement(self) -> None:
+        self.ops.start(self.sim.now)
+        self.read_latency = LatencyHistogram()
+        self.update_latency = LatencyHistogram()
+
+    def _next_op(self) -> None:
+        if not self.running:
+            return
+        op, key = self.generator.next_op()
+        start = self.sim.now
+        if op is YcsbOp.READ:
+            self.tree.get(key, lambda found: self._op_done(start, self.read_latency))
+        elif op in (YcsbOp.UPDATE, YcsbOp.INSERT):
+            self.tree.put(key, lambda: self._op_done(start, self.update_latency))
+        elif op is YcsbOp.SCAN:
+            length = self.generator.next_scan_length()
+            self.tree.scan(key, length, lambda keys: self._op_done(start, self.read_latency))
+        else:  # read-modify-write: a get whose completion chains a put.
+            self.tree.get(
+                key,
+                lambda found: self.tree.put(
+                    key, lambda: self._op_done(start, self.update_latency)
+                ),
+            )
+
+    def _op_done(self, start: float, histogram: LatencyHistogram) -> None:
+        histogram.record(self.sim.now - start)
+        self.ops.record(self.sim.now, 1)
+        self._next_op()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def results(self) -> Dict[str, object]:
+        now = self.sim.now
+        return {
+            "name": self.tree.name,
+            "workload": self.spec.name,
+            "kops": self.ops.iops(now) / 1000.0,
+            "read_latency": self.read_latency.summary(),
+            "update_latency": self.update_latency.summary(),
+            "lsm": {
+                "flushes": self.tree.stats.flushes,
+                "compactions": self.tree.stats.compactions,
+                "memtable_hits": self.tree.stats.memtable_hits,
+                "table_reads": self.tree.stats.table_reads,
+                "stalled_puts": self.tree.stats.stalled_puts,
+            },
+        }

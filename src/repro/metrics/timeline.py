@@ -1,0 +1,62 @@
+"""Windowed percentile timelines.
+
+The dynamic figures (9, 17, 18) plot latency percentiles *over time*;
+:class:`PercentileTimeline` buckets observations into fixed windows,
+keeps one histogram per window, and emits (window_start, percentile)
+series -- a timeline-shaped companion to
+:class:`~repro.metrics.histogram.LatencyHistogram`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.metrics.histogram import LatencyHistogram
+
+
+class PercentileTimeline:
+    """Per-window latency histograms with percentile series output."""
+
+    def __init__(self, window_us: float, min_value: float = 1.0, max_value: float = 1e7):
+        if window_us <= 0:
+            raise ValueError("window must be positive")
+        self.window_us = window_us
+        self._min_value = min_value
+        self._max_value = max_value
+        self._windows: Dict[int, LatencyHistogram] = {}
+
+    def record(self, now_us: float, value: float) -> None:
+        index = int(now_us // self.window_us)
+        histogram = self._windows.get(index)
+        if histogram is None:
+            histogram = LatencyHistogram(self._min_value, self._max_value)
+            self._windows[index] = histogram
+        histogram.record(value)
+
+    def series(self, pct: float) -> List[Tuple[float, float]]:
+        """(window_start_us, percentile-value) for each non-empty window."""
+        return [
+            (index * self.window_us, histogram.percentile(pct))
+            for index, histogram in sorted(self._windows.items())
+        ]
+
+    def mean_series(self) -> List[Tuple[float, float]]:
+        return [
+            (index * self.window_us, histogram.mean)
+            for index, histogram in sorted(self._windows.items())
+        ]
+
+    def multi_series(self, pcts: Sequence[float]) -> Dict[float, List[Tuple[float, float]]]:
+        """Several percentile series in one pass."""
+        return {pct: self.series(pct) for pct in pcts}
+
+    def total(self) -> LatencyHistogram:
+        """All windows merged into one histogram."""
+        merged = LatencyHistogram(self._min_value, self._max_value)
+        for histogram in self._windows.values():
+            merged.merge(histogram)
+        return merged
+
+    @property
+    def window_count(self) -> int:
+        return len(self._windows)

@@ -1,0 +1,71 @@
+"""NVMe command and completion entries.
+
+Logical blocks are 4 KiB (the device model's page size), so ``slba``
+and ``nlb`` are in the same units the rest of the stack uses.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class NvmeOpcode(enum.Enum):
+    """NVM command set opcodes (the subset the workloads exercise)."""
+
+    READ = 0x02
+    WRITE = 0x01
+    FLUSH = 0x00
+    #: Dataset management (deallocate / TRIM).
+    DEALLOCATE = 0x09
+
+
+class NvmeStatus(enum.Enum):
+    """Completion status codes."""
+
+    SUCCESS = 0x0
+    INVALID_NAMESPACE = 0xB
+    LBA_OUT_OF_RANGE = 0x80
+
+
+_command_ids = itertools.count(1)
+
+
+@dataclass
+class NvmeCommand:
+    """One submission queue entry."""
+
+    opcode: NvmeOpcode
+    nsid: int
+    slba: int
+    nlb: int
+    cid: int = field(default_factory=lambda: next(_command_ids))
+
+    def __post_init__(self) -> None:
+        if self.nsid <= 0:
+            raise ValueError("namespace IDs are 1-based")
+        if self.slba < 0 or self.nlb <= 0:
+            raise ValueError("invalid LBA range")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.nlb * 4096
+
+
+@dataclass(frozen=True)
+class NvmeCompletion:
+    """One completion queue entry."""
+
+    cid: int
+    status: NvmeStatus
+    submit_time_us: float
+    complete_time_us: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status is NvmeStatus.SUCCESS
+
+    @property
+    def latency_us(self) -> float:
+        return self.complete_time_us - self.submit_time_us

@@ -1,0 +1,93 @@
+"""NVMe controller: namespace dispatch over one backing device."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.nvme.commands import NvmeCommand, NvmeCompletion, NvmeOpcode, NvmeStatus
+from repro.nvme.namespace import Namespace, NamespaceError
+from repro.nvme.queue_pair import NvmeQueuePair
+from repro.ssd.commands import DeviceCommand, IoOp
+
+CompletionHandler = Callable[[NvmeCompletion], None]
+
+_OPCODE_TO_IO = {
+    NvmeOpcode.READ: IoOp.READ,
+    NvmeOpcode.WRITE: IoOp.WRITE,
+    NvmeOpcode.DEALLOCATE: IoOp.TRIM,
+}
+
+
+class NvmeController:
+    """Translates NVMe commands into device commands via namespaces."""
+
+    def __init__(self, sim, device):
+        self.sim = sim
+        self.device = device
+        self.namespaces: Dict[int, Namespace] = {}
+        self._next_qid = 1
+
+    # ------------------------------------------------------------------
+    # Admin-ish surface
+    # ------------------------------------------------------------------
+    def create_namespace(self, npages: int, base_lpn: Optional[int] = None) -> Namespace:
+        """Attach a new namespace; defaults to packing after the last one."""
+        nsid = len(self.namespaces) + 1
+        if base_lpn is None:
+            base_lpn = sum(ns.npages for ns in self.namespaces.values())
+        if base_lpn + npages > self.device.exported_pages:
+            raise ValueError("namespace exceeds device capacity")
+        namespace = Namespace(nsid, getattr(self.device, "name", "ssd"), base_lpn, npages)
+        self.namespaces[nsid] = namespace
+        return namespace
+
+    def create_queue_pair(self, depth: int = 128) -> NvmeQueuePair:
+        qpair = NvmeQueuePair(self, depth=depth, qid=self._next_qid)
+        self._next_qid += 1
+        return qpair
+
+    # ------------------------------------------------------------------
+    # IO execution
+    # ------------------------------------------------------------------
+    def execute(self, command: NvmeCommand, on_complete: CompletionHandler) -> None:
+        """Run one command; errors complete immediately with a status."""
+        submit_time = self.sim.now
+        namespace = self.namespaces.get(command.nsid)
+        if namespace is None:
+            self._fail(command, NvmeStatus.INVALID_NAMESPACE, submit_time, on_complete)
+            return
+        try:
+            lpn = namespace.translate(command.slba, command.nlb)
+        except NamespaceError:
+            self._fail(command, NvmeStatus.LBA_OUT_OF_RANGE, submit_time, on_complete)
+            return
+        if command.opcode is NvmeOpcode.FLUSH:
+            # The simulated device persists writes on completion; flush
+            # is a no-op acknowledged immediately.
+            self.sim.schedule(
+                0.0,
+                on_complete,
+                NvmeCompletion(command.cid, NvmeStatus.SUCCESS, submit_time, submit_time),
+            )
+            return
+        device_command = DeviceCommand(_OPCODE_TO_IO[command.opcode], lpn, command.nlb)
+
+        def device_done(cmd: DeviceCommand) -> None:
+            on_complete(
+                NvmeCompletion(
+                    command.cid, NvmeStatus.SUCCESS, submit_time, self.sim.now
+                )
+            )
+
+        self.device.submit(device_command, device_done)
+
+    def _fail(
+        self,
+        command: NvmeCommand,
+        status: NvmeStatus,
+        submit_time: float,
+        on_complete: CompletionHandler,
+    ) -> None:
+        self.sim.schedule(
+            0.0, on_complete, NvmeCompletion(command.cid, status, submit_time, self.sim.now)
+        )

@@ -1,0 +1,47 @@
+"""NVMe namespaces: bounds-checked LBA windows onto a device.
+
+A namespace provides independent addressing -- LBA 0 of namespace 2
+maps to some device page far from LBA 0 of namespace 1 -- but *no*
+physical isolation: both land in the same FTL, channels and write
+buffer, which is the paper's point about namespaces being insufficient
+for multi-tenancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class NamespaceError(Exception):
+    """An IO fell outside its namespace."""
+
+
+@dataclass(frozen=True)
+class Namespace:
+    """A contiguous window of a device's exported LBA space."""
+
+    nsid: int
+    ssd_name: str
+    base_lpn: int
+    npages: int
+
+    def __post_init__(self) -> None:
+        if self.nsid <= 0:
+            raise ValueError("namespace IDs are 1-based")
+        if self.base_lpn < 0 or self.npages <= 0:
+            raise ValueError("invalid namespace extent")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.npages * 4096
+
+    def translate(self, slba: int, nlb: int) -> int:
+        """Namespace-relative LBA -> device LPN, or raise."""
+        if slba < 0 or nlb <= 0 or slba + nlb > self.npages:
+            raise NamespaceError(
+                f"ns{self.nsid}: range [{slba}, {slba + nlb}) outside {self.npages} blocks"
+            )
+        return self.base_lpn + slba
+
+    def __str__(self) -> str:
+        return f"ns{self.nsid}@{self.ssd_name}[{self.base_lpn}+{self.npages}]"

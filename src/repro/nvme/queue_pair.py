@@ -1,0 +1,56 @@
+"""A bounded NVMe submission/completion queue pair.
+
+NVMe pairs each submission queue with a completion queue; the pair's
+depth bounds the commands a host can have outstanding on it.  The
+fabric's tenant sessions enforce the same bound at the initiator; this
+class provides the local-attach equivalent and the accounting the
+overhead experiments read.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.nvme.commands import NvmeCommand, NvmeCompletion
+
+CompletionHandler = Callable[[NvmeCompletion], None]
+
+
+class QueueFullError(Exception):
+    """The submission queue has no free entries."""
+
+
+class NvmeQueuePair:
+    """One SQ/CQ pair against a controller."""
+
+    def __init__(self, controller, depth: int = 128, qid: int = 1):
+        if depth <= 0:
+            raise ValueError("queue depth must be positive")
+        self.controller = controller
+        self.depth = depth
+        self.qid = qid
+        self.outstanding = 0
+        self.submitted = 0
+        self.completed = 0
+
+    @property
+    def free_entries(self) -> int:
+        return self.depth - self.outstanding
+
+    def submit(self, command: NvmeCommand, on_complete: Optional[CompletionHandler] = None) -> None:
+        """Post one command; raises :class:`QueueFullError` when full."""
+        if self.outstanding >= self.depth:
+            raise QueueFullError(f"qpair {self.qid}: {self.depth} commands outstanding")
+        self.outstanding += 1
+        self.submitted += 1
+
+        def deliver(completion: NvmeCompletion) -> None:
+            self.outstanding -= 1
+            self.completed += 1
+            if on_complete is not None:
+                on_complete(completion)
+
+        self.controller.execute(command, deliver)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NvmeQueuePair(qid={self.qid}, {self.outstanding}/{self.depth} outstanding)"

@@ -1,0 +1,271 @@
+"""Event loop for the discrete-event simulation.
+
+The :class:`Simulator` owns the clock and an event heap.  Components
+never sleep or poll; they schedule callbacks.  Two programming styles
+are supported:
+
+* **Callback style** -- ``sim.schedule(delay_us, fn, *args)`` runs
+  ``fn(*args)`` after ``delay_us`` microseconds.  This is what the
+  device and fabric models use.
+* **Process style** -- ``sim.process(generator)`` drives a generator
+  that yields either a float (sleep for that many microseconds) or a
+  :class:`Waiter` (park until someone triggers it).  This is what the
+  experiment scripts use for timeline control (e.g. "add one write
+  worker every five seconds").
+
+Determinism: events that fire at the same timestamp execute in the
+order they were scheduled (a monotonically increasing sequence number
+breaks ties), so a run is fully reproducible given its RNG seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule` so it can be cancelled."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from running.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.3f}us, {getattr(self.fn, '__name__', self.fn)}, {state})"
+
+
+class Waiter:
+    """A one-shot synchronisation point for process-style code.
+
+    A process yields a ``Waiter`` to park itself; another component
+    calls :meth:`trigger` to resume the process, optionally passing a
+    value that becomes the result of the ``yield`` expression.
+    """
+
+    __slots__ = ("_process", "_triggered", "_value")
+
+    def __init__(self) -> None:
+        self._process: Optional["Process"] = None
+        self._triggered = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    def trigger(self, value: Any = None) -> None:
+        """Resume the process waiting on this waiter (if any)."""
+        if self._triggered:
+            raise SimulationError("Waiter triggered twice")
+        self._triggered = True
+        self._value = value
+        if self._process is not None:
+            process, self._process = self._process, None
+            process._resume(value)
+
+
+def all_of(sim: "Simulator", waiters: list) -> Waiter:
+    """A waiter that triggers once every input waiter has triggered.
+
+    The resume value is the list of the inputs' values in order.
+    """
+    combined = Waiter()
+    remaining = {"count": len(waiters)}
+    values = [None] * len(waiters)
+    if not waiters:
+        combined.trigger([])
+        return combined
+    for index, waiter in enumerate(waiters):
+        def chain(value, index=index):
+            values[index] = value
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                combined.trigger(values)
+
+        _attach(sim, waiter, chain)
+    return combined
+
+
+def any_of(sim: "Simulator", waiters: list) -> Waiter:
+    """A waiter that triggers when the first input triggers.
+
+    The resume value is ``(index, value)`` of the winner; later
+    triggers of the other inputs are ignored.
+    """
+    if not waiters:
+        raise SimulationError("any_of needs at least one waiter")
+    combined = Waiter()
+
+    for index, waiter in enumerate(waiters):
+        def chain(value, index=index):
+            if not combined.triggered:
+                combined.trigger((index, value))
+
+        _attach(sim, waiter, chain)
+    return combined
+
+
+def _attach(sim: "Simulator", waiter: Waiter, callback) -> None:
+    """Run ``callback(value)`` when ``waiter`` triggers."""
+    if waiter.triggered:
+        sim.schedule(0.0, callback, waiter._value)
+        return
+
+    def relay():
+        value = yield waiter
+        callback(value)
+
+    Process(sim, relay())
+
+
+class Process:
+    """Drives a generator as a cooperative simulation process."""
+
+    __slots__ = ("sim", "_gen", "alive", "_pending_event")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any]):
+        self.sim = sim
+        self._gen = gen
+        self.alive = True
+        self._pending_event: Optional[Event] = None
+        self._resume(None)
+
+    def stop(self) -> None:
+        """Terminate the process without running it further."""
+        if not self.alive:
+            return
+        self.alive = False
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self._gen.close()
+
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        self._pending_event = None
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration:
+            self.alive = False
+            return
+        if isinstance(yielded, Waiter):
+            if yielded.triggered:
+                # Already satisfied; resume on the next event boundary so
+                # we do not recurse unboundedly through ready waiters.
+                self._pending_event = self.sim.schedule(0.0, self._resume, yielded._value)
+            else:
+                yielded._process = self
+        elif isinstance(yielded, (int, float)):
+            self._pending_event = self.sim.schedule(float(yielded), self._resume, None)
+        else:
+            self.alive = False
+            raise SimulationError(f"Process yielded unsupported value: {yielded!r}")
+
+
+class Simulator:
+    """The event loop: a clock plus a heap of pending events."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay_us: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay_us`` microseconds of simulated time."""
+        if delay_us < 0:
+            raise SimulationError(f"Cannot schedule {delay_us}us in the past")
+        return self.at(self.now + delay_us, fn, *args)
+
+    def at(self, time_us: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulated time ``time_us``."""
+        if time_us < self.now:
+            raise SimulationError(f"Cannot schedule at t={time_us} before now={self.now}")
+        self._seq += 1
+        event = Event(time_us, self._seq, fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def process(self, gen: Generator[Any, Any, Any]) -> Process:
+        """Start a generator-based process (see module docstring)."""
+        return Process(self, gen)
+
+    def waiter(self) -> Waiter:
+        """Create a fresh :class:`Waiter` for process-style synchronisation."""
+        return Waiter()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until_us: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the heap drains, ``until_us`` is reached, or ``max_events`` fire.
+
+        Events scheduled exactly at ``until_us`` do execute.  On return
+        the clock is advanced to ``until_us`` when a deadline was given
+        (even if the heap drained earlier), matching wall-clock style
+        measurement windows.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until_us is not None and event.time > until_us:
+                    break
+                heapq.heappop(self._heap)
+                self.now = event.time
+                event.fn(*event.args)
+                fired += 1
+        finally:
+            self._running = False
+        if until_us is not None and self.now < until_us:
+            self.now = until_us
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now:.3f}us, pending={self.pending})"

@@ -1,0 +1,57 @@
+"""SSD device model.
+
+The model reproduces the NVMe SSD behaviours Gimbal's mechanisms react
+to (paper Sections 2.3 and Appendix A/D):
+
+* load-dependent latency with an impulse response to congestion
+  (FCFS queueing at the controller and the NAND channels),
+* IO-size bandwidth asymmetry (per-command controller cost is
+  amortised by large IOs; pages stripe across channels),
+* read/write interference (program operations share channels with
+  reads and block them head-of-line),
+* the clean-vs-fragmented write cliff (a page-mapped FTL with greedy
+  garbage collection whose write amplification depends on the overwrite
+  history), and
+* burst absorption by the controller DRAM write buffer (writes complete
+  fast until the offered rate exceeds the NAND drain rate).
+
+Timing is *analytic*: each command books busy time on the controller
+and channel resources at submission, and exactly one completion event
+is scheduled -- no per-page events -- which keeps simulated hundreds of
+KIOPS tractable in pure Python.
+"""
+
+from repro.ssd.commands import DeviceCommand, IoOp
+from repro.ssd.conditioning import precondition_clean, precondition_fragmented
+from repro.ssd.device import DeviceStats, NullDevice, SsdDevice
+from repro.ssd.ftl import Ftl, GcWork
+from repro.ssd.geometry import SsdGeometry
+from repro.ssd.profiles import (
+    DCT983_PROFILE,
+    NULL_PROFILE,
+    P3600_PROFILE,
+    QLC_PROFILE,
+    DeviceProfile,
+    profile_by_name,
+)
+from repro.ssd.write_buffer import WriteBuffer
+
+__all__ = [
+    "DeviceCommand",
+    "IoOp",
+    "SsdDevice",
+    "NullDevice",
+    "DeviceStats",
+    "Ftl",
+    "GcWork",
+    "SsdGeometry",
+    "DeviceProfile",
+    "DCT983_PROFILE",
+    "P3600_PROFILE",
+    "QLC_PROFILE",
+    "NULL_PROFILE",
+    "profile_by_name",
+    "WriteBuffer",
+    "precondition_clean",
+    "precondition_fragmented",
+]

@@ -1,0 +1,332 @@
+"""Page-mapped flash translation layer with greedy garbage collection.
+
+The FTL is the mechanism behind the paper's "SSD condition" issue
+(Section 2.3, Appendix A): the cost of a host write depends on how
+fragmented previously written blocks are, because garbage collection
+must relocate every still-valid page of a victim block before erasing
+it.  Sequentially written data dies together (victims are empty, write
+amplification ~1); randomly overwritten data leaves victims mostly
+valid (write amplification of 5-8 with ~10% overprovisioning), which
+is the paper's clean/fragmented dichotomy.
+
+Blocks are partitioned across channels; host writes stripe round-robin
+across one open block per channel, and GC relocates within a channel.
+The FTL is purely logical -- it returns the *work* GC performed
+(:class:`GcWork`) and the device model converts that into channel busy
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.ssd.geometry import SsdGeometry
+
+
+@dataclass
+class GcWork:
+    """NAND operations performed by garbage collection during one allocation."""
+
+    relocation_reads: int = 0
+    relocation_programs: int = 0
+    erases: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return not (self.relocation_reads or self.relocation_programs or self.erases)
+
+
+@dataclass
+class FtlStats:
+    """Lifetime program/erase accounting; write amplification derives from it."""
+
+    host_programs: int = 0
+    gc_programs: int = 0
+    erases: int = 0
+
+    @property
+    def write_amplification(self) -> float:
+        """(host + GC programs) / host programs; 1.0 before any host write."""
+        if self.host_programs == 0:
+            return 1.0
+        return (self.host_programs + self.gc_programs) / self.host_programs
+
+
+@dataclass
+class WearStats:
+    """Per-device wear summary (Section 2.3's wear-levelling concern)."""
+
+    min_erases: int
+    max_erases: int
+    mean_erases: float
+
+    @property
+    def spread(self) -> int:
+        """Erase-count gap between the most and least worn blocks."""
+        return self.max_erases - self.min_erases
+
+
+class FtlError(RuntimeError):
+    """Raised when the FTL cannot make progress (device genuinely full)."""
+
+
+_UNMAPPED = -1
+#: Streams a channel can be appending to: host writes vs GC relocation.
+_HOST_STREAM = 0
+_GC_STREAM = 1
+
+
+class Ftl:
+    """Page-mapped FTL over the geometry's block/channel layout.
+
+    ``gc_low_water``/``gc_high_water`` are the free-block pool
+    thresholds per channel: collection starts when the pool drops to
+    the low mark and refills it to the high mark.  The geometry must
+    overprovision at least ``gc_high_water + 2`` blocks per channel
+    (the pool target plus the host and GC open blocks), otherwise
+    steady-state operation would deadlock; the constructor enforces
+    this.
+    """
+
+    def __init__(self, geometry: SsdGeometry, gc_low_water: int = 1, gc_high_water: int = 2):
+        if gc_low_water < 0 or gc_high_water < gc_low_water:
+            raise ValueError("invalid GC watermarks")
+        slack_blocks = geometry.overprovision * geometry.blocks_per_channel
+        needed = gc_high_water + 2
+        if slack_blocks < needed:
+            raise ValueError(
+                f"geometry overprovisions {slack_blocks:.2f} blocks/channel but the "
+                f"GC watermarks need at least {needed}; increase overprovision or "
+                f"blocks_per_channel, or lower the watermarks"
+            )
+        self.gc_low_water = gc_low_water
+        self.gc_high_water = gc_high_water
+        self.geometry = geometry
+        g = geometry
+        self.page_map: List[int] = [_UNMAPPED] * g.exported_pages
+        self._rmap: List[int] = [_UNMAPPED] * g.total_pages
+        self._valid_count: List[int] = [0] * g.total_blocks
+        # Per-channel block pools.  Free lists are stacks; closed lists
+        # are scanned for the min-valid victim (tens of entries).
+        self._free: List[List[int]] = [[] for _ in range(g.num_channels)]
+        self._closed: List[List[int]] = [[] for _ in range(g.num_channels)]
+        # (block_id, next_offset) per channel per stream, or None.
+        self._open: List[List[Optional[Tuple[int, int]]]] = [
+            [None, None] for _ in range(g.num_channels)
+        ]
+        for block_id in range(g.total_blocks):
+            self._free[g.channel_of_block(block_id)].append(block_id)
+        self._next_host_channel = 0
+        #: Program/erase cycles per block, for wear levelling.
+        self._erase_counts: List[int] = [0] * g.total_blocks
+        self.stats = FtlStats()
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def lookup(self, lpn: int) -> int:
+        """Physical page of ``lpn``, or -1 if never written."""
+        return self.page_map[lpn]
+
+    def channel_of_lpn(self, lpn: int) -> int:
+        """Channel holding ``lpn``; unmapped pages hash to a stable channel."""
+        ppn = self.page_map[lpn]
+        if ppn == _UNMAPPED:
+            return lpn % self.geometry.num_channels
+        return self.geometry.channel_of_page(ppn)
+
+    def free_blocks_on_channel(self, channel: int) -> int:
+        return len(self._free[channel])
+
+    @property
+    def mapped_pages(self) -> int:
+        return sum(1 for ppn in self.page_map if ppn != _UNMAPPED)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def write_page(self, lpn: int) -> Tuple[int, GcWork]:
+        """Map ``lpn`` to a fresh physical page.
+
+        Returns the new PPN and the garbage-collection work (if any)
+        that had to run on the destination channel to make room.  The
+        caller charges that work to the channel's timeline.
+        """
+        if not 0 <= lpn < len(self.page_map):
+            raise ValueError(f"LPN {lpn} outside exported range")
+        work = GcWork()
+        self._invalidate(lpn)
+        channel = self._next_host_channel
+        self._next_host_channel = (channel + 1) % self.geometry.num_channels
+        ppn = self._append(channel, _HOST_STREAM, work)
+        self._map(lpn, ppn)
+        self.stats.host_programs += 1
+        return ppn, work
+
+    def trim_page(self, lpn: int) -> None:
+        """Discard the mapping for ``lpn`` (dataset delete / blob free)."""
+        self._invalidate(lpn)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _map(self, lpn: int, ppn: int) -> None:
+        self.page_map[lpn] = ppn
+        self._rmap[ppn] = lpn
+        self._valid_count[self.geometry.block_of_page(ppn)] += 1
+
+    def _invalidate(self, lpn: int) -> None:
+        old_ppn = self.page_map[lpn]
+        if old_ppn == _UNMAPPED:
+            return
+        self.page_map[lpn] = _UNMAPPED
+        self._rmap[old_ppn] = _UNMAPPED
+        self._valid_count[self.geometry.block_of_page(old_ppn)] -= 1
+
+    def _append(self, channel: int, stream: int, work: GcWork) -> int:
+        """Claim the next physical page of the channel's open block."""
+        slot = self._open[channel][stream]
+        if slot is None:
+            block_id = self._take_free_block(channel, work, allow_gc=stream == _HOST_STREAM)
+            slot = (block_id, 0)
+        block_id, offset = slot
+        ppn = block_id * self.geometry.pages_per_block + offset
+        offset += 1
+        if offset == self.geometry.pages_per_block:
+            self._closed[channel].append(block_id)
+            self._open[channel][stream] = None
+        else:
+            self._open[channel][stream] = (block_id, offset)
+        return ppn
+
+    def _take_free_block(self, channel: int, work: GcWork, allow_gc: bool) -> int:
+        free = self._free[channel]
+        if allow_gc and len(free) <= self.gc_low_water:
+            self._collect(channel, work)
+        if not free:
+            if allow_gc:
+                raise FtlError(f"channel {channel} exhausted: GC made no progress")
+            raise FtlError(f"channel {channel} exhausted during GC relocation")
+        # Wear levelling: program into the least-worn free block so
+        # erase cycles stay balanced across the channel's blocks.
+        best_index = 0
+        best_erases = self._erase_counts[free[0]]
+        for index in range(1, len(free)):
+            erases = self._erase_counts[free[index]]
+            if erases < best_erases:
+                best_index, best_erases = index, erases
+        block_id = free[best_index]
+        free[best_index] = free[-1]
+        free.pop()
+        return block_id
+
+    def _pick_victim(self, channel: int) -> Optional[int]:
+        closed = self._closed[channel]
+        if not closed:
+            return None
+        best_index = 0
+        best_valid = self._valid_count[closed[0]]
+        for index in range(1, len(closed)):
+            valid = self._valid_count[closed[index]]
+            if valid < best_valid:
+                best_index, best_valid = index, valid
+        if best_valid >= self.geometry.pages_per_block:
+            # Every closed block is fully valid: erasing buys nothing.
+            return None
+        victim = closed[best_index]
+        closed[best_index] = closed[-1]
+        closed.pop()
+        return victim
+
+    def _collect(self, channel: int, work: GcWork) -> None:
+        """Greedy GC: relocate min-valid victims until the free pool refills."""
+        free = self._free[channel]
+        while len(free) < self.gc_high_water:
+            victim = self._pick_victim(channel)
+            if victim is None:
+                break
+            base = victim * self.geometry.pages_per_block
+            for offset in range(self.geometry.pages_per_block):
+                ppn = base + offset
+                lpn = self._rmap[ppn]
+                if lpn == _UNMAPPED:
+                    continue
+                new_ppn = self._append(channel, _GC_STREAM, work)
+                # Remap in place; _invalidate is not used because the
+                # old slot must be cleared regardless of map state.
+                self._rmap[ppn] = _UNMAPPED
+                self._valid_count[victim] -= 1
+                self.page_map[lpn] = new_ppn
+                self._rmap[new_ppn] = lpn
+                self._valid_count[self.geometry.block_of_page(new_ppn)] += 1
+                work.relocation_reads += 1
+                work.relocation_programs += 1
+                self.stats.gc_programs += 1
+            assert self._valid_count[victim] == 0, "victim still holds valid pages"
+            work.erases += 1
+            self.stats.erases += 1
+            self._erase_counts[victim] += 1
+            free.append(victim)
+
+    # ------------------------------------------------------------------
+    # Wear introspection
+    # ------------------------------------------------------------------
+    def wear_stats(self) -> WearStats:
+        """Erase-count distribution across all blocks."""
+        counts = self._erase_counts
+        return WearStats(
+            min_erases=min(counts),
+            max_erases=max(counts),
+            mean_erases=sum(counts) / len(counts),
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (conditioning cache)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the full mapping state (cheap: list copies).
+
+        Used by :mod:`repro.ssd.conditioning` so that expensive
+        preconditioning runs once per (geometry, condition) and later
+        devices start from a restored copy.
+        """
+        return {
+            "page_map": self.page_map.copy(),
+            "rmap": self._rmap.copy(),
+            "valid_count": self._valid_count.copy(),
+            "free": [pool.copy() for pool in self._free],
+            "closed": [pool.copy() for pool in self._closed],
+            "open": [slots.copy() for slots in self._open],
+            "next_host_channel": self._next_host_channel,
+            "erase_counts": self._erase_counts.copy(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Install a state previously captured by :meth:`snapshot`."""
+        self.page_map = snap["page_map"].copy()
+        self._rmap = snap["rmap"].copy()
+        self._valid_count = snap["valid_count"].copy()
+        self._free = [pool.copy() for pool in snap["free"]]
+        self._closed = [pool.copy() for pool in snap["closed"]]
+        self._open = [slots.copy() for slots in snap["open"]]
+        self._next_host_channel = snap["next_host_channel"]
+        self._erase_counts = snap["erase_counts"].copy()
+        self.stats = FtlStats()
+
+    # ------------------------------------------------------------------
+    # Integrity checking (used by tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify map/reverse-map/valid-count consistency.  O(total pages)."""
+        for lpn, ppn in enumerate(self.page_map):
+            if ppn != _UNMAPPED and self._rmap[ppn] != lpn:
+                raise AssertionError(f"map mismatch: lpn={lpn} ppn={ppn} rmap={self._rmap[ppn]}")
+        counted = [0] * self.geometry.total_blocks
+        for ppn, lpn in enumerate(self._rmap):
+            if lpn != _UNMAPPED:
+                if self.page_map[lpn] != ppn:
+                    raise AssertionError(f"rmap mismatch: ppn={ppn} lpn={lpn}")
+                counted[self.geometry.block_of_page(ppn)] += 1
+        if counted != self._valid_count:
+            raise AssertionError("valid counts inconsistent with reverse map")

@@ -1,0 +1,58 @@
+"""Address-pattern generators for synthetic workloads."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AddressRegion:
+    """A contiguous LBA range (4 KiB pages) a worker operates on."""
+
+    start: int
+    npages: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.npages <= 0:
+            raise ValueError("invalid address region")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.npages
+
+
+class RandomPattern:
+    """Uniform random, IO-size-aligned addressing within a region.
+
+    Alignment to the IO size mirrors fio's default ``blockalign`` and
+    keeps large IOs from straddling region boundaries.
+    """
+
+    def __init__(self, region: AddressRegion, io_pages: int, rng: random.Random):
+        if io_pages <= 0 or io_pages > region.npages:
+            raise ValueError("IO size must fit in the region")
+        self.region = region
+        self.io_pages = io_pages
+        self.rng = rng
+        self._slots = region.npages // io_pages
+
+    def next_lba(self) -> int:
+        return self.region.start + self.rng.randrange(self._slots) * self.io_pages
+
+
+class SequentialPattern:
+    """Strided sequential addressing with wrap-around."""
+
+    def __init__(self, region: AddressRegion, io_pages: int, start_offset: int = 0):
+        if io_pages <= 0 or io_pages > region.npages:
+            raise ValueError("IO size must fit in the region")
+        self.region = region
+        self.io_pages = io_pages
+        self._slots = region.npages // io_pages
+        self._cursor = (start_offset // io_pages) % self._slots
+
+    def next_lba(self) -> int:
+        lba = self.region.start + self._cursor * self.io_pages
+        self._cursor = (self._cursor + 1) % self._slots
+        return lba

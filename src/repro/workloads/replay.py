@@ -1,0 +1,113 @@
+"""Trace replay: drive a recorded IO trace back through a session.
+
+Together with :class:`~repro.workloads.trace.TraceRecorder` this gives
+the classic record/replay loop: capture a workload once (from a live
+run or an external trace converted to the CSV schema), then replay it
+against any scheme/condition for apples-to-apples comparisons.
+
+Two modes:
+
+* ``timed`` -- submissions follow the recorded inter-arrival times
+  (scaled by ``speed``): an open-loop replay that preserves burstiness;
+* ``closed`` -- ignore recorded timing and keep ``queue_depth`` IOs
+  outstanding: a closed-loop replay of just the access pattern.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fabric.initiator import TenantSession
+from repro.fabric.request import FabricRequest
+from repro.metrics.histogram import LatencyHistogram
+from repro.metrics.throughput import ThroughputMonitor
+from repro.ssd.commands import IoOp
+from repro.workloads.trace import TraceRecord
+
+_OPS = {op.value: op for op in IoOp}
+
+
+class ReplayWorker:
+    """Replays a list of :class:`TraceRecord` through one session."""
+
+    def __init__(
+        self,
+        session: TenantSession,
+        records: List[TraceRecord],
+        mode: str = "timed",
+        speed: float = 1.0,
+        queue_depth: int = 32,
+        lba_offset: int = 0,
+    ):
+        if mode not in ("timed", "closed"):
+            raise ValueError("mode must be 'timed' or 'closed'")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        if not records:
+            raise ValueError("empty trace")
+        self.session = session
+        self.sim = session.sim
+        self.records = records
+        self.mode = mode
+        self.speed = speed
+        self.queue_depth = queue_depth
+        self.lba_offset = lba_offset
+        self.latency = LatencyHistogram()
+        self.throughput = ThroughputMonitor()
+        self.submitted = 0
+        self.completed = 0
+        self._cursor = 0
+        self._done_callback: Optional[callable] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, on_done: Optional[callable] = None) -> None:
+        """Begin the replay; ``on_done()`` fires when the trace drains."""
+        self._done_callback = on_done
+        self.throughput.start(self.sim.now)
+        if self.mode == "timed":
+            base = self.records[0].t_submit_us
+            start = self.sim.now
+            for record in self.records:
+                delay = (record.t_submit_us - base) / self.speed
+                self.sim.at(start + delay, self._submit, record)
+        else:
+            for _ in range(min(self.queue_depth, len(self.records))):
+                self._submit_next()
+
+    def _submit_next(self) -> None:
+        if self._cursor >= len(self.records):
+            return
+        record = self.records[self._cursor]
+        self._cursor += 1
+        self._submit(record)
+
+    def _submit(self, record: TraceRecord) -> None:
+        self.submitted += 1
+        self.session.submit(
+            _OPS[record.op],
+            record.lba + self.lba_offset,
+            record.npages,
+            on_complete=self._on_complete,
+        )
+
+    def _on_complete(self, request: FabricRequest) -> None:
+        self.completed += 1
+        self.latency.record(request.inflight_latency_us)
+        self.throughput.record(self.sim.now, request.size_bytes)
+        if self.mode == "closed":
+            self._submit_next()
+        if self.completed == len(self.records) and self._done_callback is not None:
+            self._done_callback()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def results(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "bandwidth_mbps": self.throughput.bandwidth_mbps(self.sim.now),
+            "latency": self.latency.summary(),
+        }

@@ -1,0 +1,94 @@
+"""IO trace recording (for debugging and offline analysis).
+
+The harness can attach a :class:`TraceRecorder` to sessions to capture
+per-IO records; traces serialise to CSV so experiments can be inspected
+outside the simulator (or replayed through custom tooling).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.fabric.request import FabricRequest
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One completed IO."""
+
+    t_submit_us: float
+    t_complete_us: float
+    tenant_id: str
+    op: str
+    lba: int
+    npages: int
+    e2e_latency_us: float
+    device_latency_us: float
+
+    _FIELDS = (
+        "t_submit_us",
+        "t_complete_us",
+        "tenant_id",
+        "op",
+        "lba",
+        "npages",
+        "e2e_latency_us",
+        "device_latency_us",
+    )
+
+
+class TraceRecorder:
+    """Accumulates completed-IO records."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def observe(self, request: FabricRequest) -> None:
+        """Record one completed request (wire as a completion callback)."""
+        self.records.append(
+            TraceRecord(
+                t_submit_us=request.t_client_submit,
+                t_complete_us=request.t_client_complete,
+                tenant_id=request.tenant_id,
+                op=request.op.value,
+                lba=request.lba,
+                npages=request.npages,
+                e2e_latency_us=request.e2e_latency_us,
+                device_latency_us=request.device_latency_us,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def save_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(TraceRecord._FIELDS)
+            for record in self.records:
+                writer.writerow([getattr(record, field) for field in TraceRecord._FIELDS])
+
+    @staticmethod
+    def load_csv(path: str) -> "TraceRecorder":
+        recorder = TraceRecorder()
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                recorder.records.append(
+                    TraceRecord(
+                        t_submit_us=float(row["t_submit_us"]),
+                        t_complete_us=float(row["t_complete_us"]),
+                        tenant_id=row["tenant_id"],
+                        op=row["op"],
+                        lba=int(row["lba"]),
+                        npages=int(row["npages"]),
+                        e2e_latency_us=float(row["e2e_latency_us"]),
+                        device_latency_us=float(row["device_latency_us"]),
+                    )
+                )
+        return recorder
+
+    def tenants(self) -> Iterable[str]:
+        return sorted({record.tenant_id for record in self.records})

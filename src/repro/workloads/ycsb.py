@@ -1,0 +1,186 @@
+"""YCSB core workloads over a Zipfian request distribution.
+
+The RocksDB evaluation (Section 5.6) uses YCSB with 10M 1 KiB
+key-value pairs and Zipfian skew 0.99.  This module provides:
+
+* :class:`ZipfianGenerator` -- the standard YCSB rejection-free
+  Zipfian sampler (Gray et al.), plus the scrambled variant that
+  decorrelates popularity from key order;
+* the five core workload mixes the paper runs (A, B, C, D, F);
+* :class:`YcsbWorkloadGenerator` -- an operation stream
+  (op, key) suitable for driving the KV store.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: FNV-style constant used by YCSB's key scrambling.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv_hash64(value: int) -> int:
+    """YCSB's 64-bit FNV-1a over the integer's bytes."""
+    result = _FNV_OFFSET
+    for _ in range(8):
+        octet = value & 0xFF
+        value >>= 8
+        result ^= octet
+        result = (result * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return result
+
+
+class ZipfianGenerator:
+    """Samples {0, ..., n-1} with P(i) proportional to 1/(i+1)^theta.
+
+    Implements the Gray et al. constant-time method YCSB uses, so the
+    hottest item is rank 0.  ``scrambled=True`` applies YCSB's FNV
+    scrambling so popular items spread over the key space.
+    """
+
+    def __init__(
+        self,
+        item_count: int,
+        theta: float = 0.99,
+        rng: random.Random | None = None,
+        scrambled: bool = True,
+    ):
+        if item_count <= 0:
+            raise ValueError("item count must be positive")
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self.item_count = item_count
+        self.theta = theta
+        self.rng = rng or random.Random(0)
+        self.scrambled = scrambled
+        self._zetan = self._zeta(item_count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / item_count) ** (1.0 - theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next_rank(self) -> int:
+        """The Zipf rank (0 = hottest)."""
+        u = self.rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.item_count * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+    def next(self) -> int:
+        rank = self.next_rank()
+        if not self.scrambled:
+            return rank
+        return fnv_hash64(rank) % self.item_count
+
+
+class YcsbOp(enum.Enum):
+    """Operation types across the core workloads."""
+
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    READ_MODIFY_WRITE = "rmw"
+    SCAN = "scan"
+
+
+@dataclass(frozen=True)
+class YcsbSpec:
+    """One core workload's operation mix."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    rmw: float = 0.0
+    scan: float = 0.0
+    #: Scan lengths are uniform in [1, scan_max_length] (YCSB default).
+    scan_max_length: int = 100
+    #: "latest" biases reads toward recently inserted keys (workload D).
+    distribution: str = "zipfian"
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.rmw + self.scan
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation mix of {self.name} must sum to 1 (got {total})")
+        if self.distribution not in ("zipfian", "latest"):
+            raise ValueError("distribution must be 'zipfian' or 'latest'")
+        if self.scan_max_length <= 0:
+            raise ValueError("scan_max_length must be positive")
+
+
+#: The core workloads: the five the paper evaluates (A/B/C/D/F,
+#: Section 5.6) plus the scan-heavy E for library completeness.
+YCSB_WORKLOADS: Dict[str, YcsbSpec] = {
+    "A": YcsbSpec("A", read=0.5, update=0.5),
+    "B": YcsbSpec("B", read=0.95, update=0.05),
+    "C": YcsbSpec("C", read=1.0),
+    "D": YcsbSpec("D", read=0.95, insert=0.05, distribution="latest"),
+    "E": YcsbSpec("E", scan=0.95, insert=0.05),
+    "F": YcsbSpec("F", read=0.5, rmw=0.5),
+}
+
+
+class YcsbWorkloadGenerator:
+    """Generates (op, key) pairs for one DB instance."""
+
+    def __init__(
+        self,
+        spec: YcsbSpec,
+        record_count: int,
+        rng: random.Random,
+        theta: float = 0.99,
+    ):
+        if record_count <= 0:
+            raise ValueError("record count must be positive")
+        self.spec = spec
+        self.record_count = record_count
+        self.rng = rng
+        self.zipf = ZipfianGenerator(record_count, theta=theta, rng=rng)
+        self._insert_cursor = record_count
+
+    def next_op(self) -> Tuple[YcsbOp, int]:
+        """Draw the next operation and its key."""
+        spec = self.spec
+        roll = self.rng.random()
+        if roll < spec.read:
+            return (YcsbOp.READ, self._read_key())
+        roll -= spec.read
+        if roll < spec.update:
+            return (YcsbOp.UPDATE, self._zipf_key())
+        roll -= spec.update
+        if roll < spec.insert:
+            key = self._insert_cursor
+            self._insert_cursor += 1
+            return (YcsbOp.INSERT, key)
+        roll -= spec.insert
+        if roll < spec.scan:
+            return (YcsbOp.SCAN, self._zipf_key())
+        return (YcsbOp.READ_MODIFY_WRITE, self._zipf_key())
+
+    def next_scan_length(self) -> int:
+        """Uniform scan length in [1, scan_max_length] (workload E)."""
+        return self.rng.randint(1, self.spec.scan_max_length)
+
+    def _zipf_key(self) -> int:
+        return self.zipf.next() % self.record_count
+
+    def _read_key(self) -> int:
+        if self.spec.distribution == "latest":
+            # Workload D: skew toward the most recent inserts.
+            offset = self.zipf.next_rank()
+            key = self._insert_cursor - 1 - offset
+            return max(0, key)
+        return self._zipf_key()

@@ -1,0 +1,184 @@
+"""Tests for the rate controller and dual token bucket (Algorithms 1/4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CongestionState, GimbalParams
+from repro.core.rate_control import CompletionRateMeter, DualTokenBucket, RateController
+from repro.ssd.commands import IoOp
+
+
+@pytest.fixture
+def params():
+    return GimbalParams()
+
+
+class TestCompletionRateMeter:
+    def test_rate_over_window(self):
+        meter = CompletionRateMeter(window_us=1000.0)
+        meter.record(100.0, 4096)
+        meter.record(200.0, 4096)
+        assert meter.rate_bytes_per_us(500.0) == pytest.approx(8192 / 1000.0)
+
+    def test_old_events_evicted(self):
+        meter = CompletionRateMeter(window_us=1000.0)
+        meter.record(0.0, 4096)
+        assert meter.rate_bytes_per_us(2000.0) == 0.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            CompletionRateMeter(window_us=0.0)
+
+
+class TestDualTokenBucket:
+    def test_split_follows_write_cost(self, params):
+        bucket = DualTokenBucket(params)
+        bucket.discard()
+        bucket.update(100.0, target_rate=100.0, write_cost=9.0)
+        # 10000 tokens split 9:1.
+        assert bucket.read_tokens == pytest.approx(9000.0)
+        assert bucket.write_tokens == pytest.approx(1000.0)
+
+    def test_cost_one_splits_evenly(self, params):
+        bucket = DualTokenBucket(params)
+        bucket.discard()
+        bucket.update(100.0, target_rate=100.0, write_cost=1.0)
+        assert bucket.read_tokens == pytest.approx(bucket.write_tokens)
+
+    def test_overflow_spills_to_sibling(self, params):
+        bucket = DualTokenBucket(params)
+        bucket.discard()
+        bucket.write_tokens = 0.0
+        # Enough tokens that the read bucket overflows its cap.
+        bucket.update(1_000_000.0, target_rate=10.0, write_cost=9.0)
+        assert bucket.read_tokens == bucket.max_tokens
+        assert bucket.write_tokens > 0.0
+
+    def test_both_buckets_capped(self, params):
+        bucket = DualTokenBucket(params)
+        bucket.update(10_000_000.0, target_rate=1000.0, write_cost=2.0)
+        assert bucket.read_tokens <= bucket.max_tokens
+        assert bucket.write_tokens <= bucket.max_tokens
+
+    def test_consume_decrements_right_bucket(self, params):
+        bucket = DualTokenBucket(params)
+        read_before = bucket.read_tokens
+        write_before = bucket.write_tokens
+        bucket.consume(IoOp.READ, 4096)
+        assert bucket.read_tokens == read_before - 4096
+        assert bucket.write_tokens == write_before
+
+    def test_consume_without_tokens_rejected(self, params):
+        bucket = DualTokenBucket(params)
+        bucket.discard()
+        with pytest.raises(ValueError):
+            bucket.consume(IoOp.WRITE, 4096)
+
+    def test_discard_zeroes_both(self, params):
+        bucket = DualTokenBucket(params)
+        bucket.discard()
+        assert bucket.read_tokens == 0.0
+        assert bucket.write_tokens == 0.0
+
+    def test_no_time_passed_no_tokens(self, params):
+        bucket = DualTokenBucket(params)
+        bucket.discard()
+        bucket.update(0.0, target_rate=1000.0, write_cost=1.0)
+        assert bucket.read_tokens == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=0.1, max_value=10_000.0),
+        st.floats(min_value=1.0, max_value=9.0),
+        st.floats(min_value=0.1, max_value=1_000.0),
+    )
+    def test_token_generation_conserved_until_caps(self, rate, write_cost, elapsed):
+        """Property: generated tokens = rate x time when below the caps."""
+        params = GimbalParams()
+        bucket = DualTokenBucket(params)
+        bucket.discard()
+        bucket.update(elapsed, target_rate=rate, write_cost=write_cost)
+        produced = bucket.read_tokens + bucket.write_tokens
+        expected = min(rate * elapsed, 2 * bucket.max_tokens)
+        assert produced <= expected + 1e-6
+        if rate * elapsed <= bucket.max_tokens:
+            assert produced == pytest.approx(rate * elapsed)
+
+
+class TestRateController:
+    def _controller(self, params=None):
+        return RateController(params or GimbalParams())
+
+    def test_congestion_avoidance_probes_up(self):
+        controller = self._controller()
+        before = controller.target_rate
+        # Prime both meters so the completion clamp is generous.
+        for t in range(10):
+            controller.meter.record(float(t), 10_000_000)
+            controller.clamp_meter.record(float(t), 10_000_000)
+        controller.on_completion(10.0, IoOp.READ, 131072, CongestionState.CONGESTION_AVOIDANCE)
+        assert controller.target_rate > before
+
+    def test_congested_backs_off(self):
+        controller = self._controller()
+        before = controller.target_rate
+        controller.on_completion(10.0, IoOp.READ, 131072, CongestionState.CONGESTED)
+        assert controller.target_rate < before
+
+    def test_underutilized_probes_faster_than_avoidance(self):
+        params = GimbalParams()
+        fast = self._controller(params)
+        slow = self._controller(params)
+        for t in range(10):
+            fast.meter.record(float(t), 10_000_000)
+            slow.meter.record(float(t), 10_000_000)
+        fast.on_completion(10.0, IoOp.READ, 131072, CongestionState.UNDERUTILIZED)
+        slow.on_completion(10.0, IoOp.READ, 131072, CongestionState.CONGESTION_AVOIDANCE)
+        assert fast.target_rate > slow.target_rate
+
+    def test_overloaded_snaps_to_completion_rate_and_discards(self):
+        params = GimbalParams()
+        controller = self._controller(params)
+        # 100 MB over 10ms window = 10 bytes/us completion rate.
+        controller.meter.record(0.0, 10_000_000)
+        controller.on_completion(100.0, IoOp.WRITE, 131072, CongestionState.OVERLOADED)
+        assert controller.bucket.read_tokens == 0.0
+        assert controller.bucket.write_tokens == 0.0
+        assert controller.target_rate <= 10_000_000 / params.completion_rate_window_us
+
+    def test_rate_clamped_to_band(self):
+        params = GimbalParams()
+        controller = self._controller(params)
+        for _ in range(10_000):
+            controller.on_completion(0.0, IoOp.READ, 131072, CongestionState.CONGESTED)
+        assert controller.target_rate >= params.min_rate_bytes_per_us
+
+    def test_completion_headroom_clamp_under_pressure(self):
+        """Once any IO type shows congestion pressure, the target is
+        capped at headroom x the (long-window) completion rate."""
+        params = GimbalParams(completion_headroom=1.5)
+        controller = self._controller(params)
+        for _ in range(1000):
+            controller.on_completion(
+                1.0,
+                IoOp.READ,
+                4096,
+                CongestionState.CONGESTION_AVOIDANCE,
+                overall_state=CongestionState.CONGESTION_AVOIDANCE,
+            )
+        measured = controller.clamp_meter.rate_bytes_per_us(1.0)
+        assert controller.target_rate <= measured * params.completion_headroom + 1e-6
+
+    def test_no_clamp_while_underutilized(self):
+        """While everything is under-utilised the probe runs free --
+        the paper's fast convergence after a workload shift."""
+        controller = self._controller()
+        before = controller.target_rate
+        for t in range(200):
+            controller.on_completion(
+                float(t), IoOp.READ, 131072, CongestionState.UNDERUTILIZED
+            )
+        assert controller.target_rate > before

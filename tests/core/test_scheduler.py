@@ -1,0 +1,243 @@
+"""Tests for the DRR + virtual-slot scheduler (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DrrSlotScheduler, GimbalParams, GimbalTenant
+from repro.core.rate_control import DualTokenBucket
+from repro.fabric.request import FabricRequest
+from repro.ssd.commands import IoOp
+
+KB128 = 32  # pages
+
+
+def make_request(tenant, op=IoOp.READ, npages=KB128, priority=0):
+    return FabricRequest(tenant_id=tenant, op=op, lba=0, npages=npages, priority=priority)
+
+
+def full_bucket(params):
+    bucket = DualTokenBucket(params)
+    bucket.read_tokens = bucket.max_tokens
+    bucket.write_tokens = bucket.max_tokens
+    return bucket
+
+
+class TestGimbalTenant:
+    def test_push_peek_pop_fifo_single_priority(self):
+        tenant = GimbalTenant("t", 1.0, 128 * 1024)
+        first = make_request("t")
+        second = make_request("t")
+        tenant.push(first)
+        tenant.push(second)
+        assert tenant.peek() is first
+        assert tenant.pop() is first
+        assert tenant.pop() is second
+        assert tenant.peek() is None
+
+    def test_pop_empty_rejected(self):
+        tenant = GimbalTenant("t", 1.0, 128 * 1024)
+        with pytest.raises(IndexError):
+            tenant.pop()
+
+    def test_pending_counter(self):
+        tenant = GimbalTenant("t", 1.0, 128 * 1024)
+        tenant.push(make_request("t"))
+        tenant.push(make_request("t"))
+        assert tenant.pending == 2
+        tenant.pop()
+        assert tenant.pending == 1
+
+    def test_higher_priority_served_more_often(self):
+        """Weighted round-robin: priority-1 gets ~2x priority-0."""
+        tenant = GimbalTenant("t", 1.0, 128 * 1024)
+        for _ in range(60):
+            tenant.push(make_request("t", priority=0))
+            tenant.push(make_request("t", priority=1))
+        served = {0: 0, 1: 0}
+        for _ in range(60):
+            request = tenant.pop()
+            served[request.priority] += 1
+        assert served[1] > served[0]
+
+    def test_peek_matches_pop(self):
+        tenant = GimbalTenant("t", 1.0, 128 * 1024)
+        for index in range(20):
+            tenant.push(make_request("t", priority=index % 3))
+        while tenant.pending:
+            peeked = tenant.peek()
+            popped = tenant.pop()
+            assert peeked is popped
+
+
+class TestDrrSlotScheduler:
+    @pytest.fixture
+    def params(self):
+        return GimbalParams()
+
+    @pytest.fixture
+    def drr(self, params):
+        return DrrSlotScheduler(params)
+
+    def _pump_all(self, drr, params, weighted=None):
+        submitted = []
+        bucket = full_bucket(params)
+
+        def refill_submit(request, tenant, slot):
+            submitted.append(request)
+            bucket.read_tokens = bucket.max_tokens
+            bucket.write_tokens = bucket.max_tokens
+
+        weight_fn = weighted or (lambda request: float(request.size_bytes))
+        drr.pump(weight_fn, bucket, refill_submit)
+        return submitted
+
+    def test_slot_limit_shrinks_with_tenants(self, drr, params):
+        drr.add_tenant("a")
+        assert drr.slot_limit == params.slot_threshold
+        for index in range(params.slot_threshold):
+            drr.add_tenant(f"t{index}")
+        assert drr.slot_limit == 1
+
+    def test_single_tenant_submits_up_to_slots(self, drr, params):
+        tenant = drr.add_tenant("a")
+        for _ in range(20):
+            drr.enqueue(tenant, make_request("a"))
+        submitted = self._pump_all(drr, params)
+        # 128 KiB IOs: one per slot, slot_threshold slots.
+        assert len(submitted) == params.slot_threshold
+        assert tenant.deferred
+
+    def test_deferred_tenant_resumes_on_slot_drain(self, drr, params):
+        tenant = drr.add_tenant("a")
+        for _ in range(params.slot_threshold + 1):
+            drr.enqueue(tenant, make_request("a"))
+        submitted = self._pump_all(drr, params)
+        slot = tenant.slots._in_use[0]
+        for _ in range(slot.submits):
+            if tenant.slots.on_completion(slot):
+                drr.on_slot_freed(tenant)
+        assert tenant.in_active
+        more = self._pump_all(drr, params)
+        assert len(more) == 1
+
+    def test_two_tenants_share_equally(self, drr, params):
+        a = drr.add_tenant("a")
+        b = drr.add_tenant("b")
+        for _ in range(10):
+            drr.enqueue(a, make_request("a"))
+            drr.enqueue(b, make_request("b"))
+        submitted = self._pump_all(drr, params)
+        by_tenant = {"a": 0, "b": 0}
+        for request in submitted:
+            by_tenant[request.tenant_id] += 1
+        assert by_tenant["a"] == by_tenant["b"]
+
+    def test_expensive_write_waits_more_rounds(self, drr, params):
+        """A cost-3 write is served once per ~3 reads (the paper's
+        example: three round-robin rounds per weighted 128 KiB write).
+
+        Completions are applied instantly so virtual slots never bind
+        and the deficit accounting is the only limiter.
+        """
+        reader = drr.add_tenant("r")
+        writer = drr.add_tenant("w")
+        for _ in range(30):
+            drr.enqueue(reader, make_request("r", op=IoOp.READ))
+            drr.enqueue(writer, make_request("w", op=IoOp.WRITE))
+
+        def weighted(request):
+            if request.op.is_write:
+                return 3.0 * request.size_bytes
+            return float(request.size_bytes)
+
+        submitted = []
+        bucket = full_bucket(params)
+
+        def submit(request, tenant, slot):
+            submitted.append(request)
+            bucket.read_tokens = bucket.max_tokens
+            bucket.write_tokens = bucket.max_tokens
+            # Instant completion: free the slot immediately.
+            for _ in range(slot.submits - slot.completions):
+                if tenant.slots.on_completion(slot):
+                    drr.on_slot_freed(tenant)
+                    break
+
+        drr.pump(weighted, bucket, submit)
+        window = submitted[:16]
+        reads = sum(1 for r in window if r.op.is_read)
+        writes = sum(1 for r in window if r.op.is_write)
+        assert reads >= 2.5 * writes
+
+    def test_token_shortage_reported(self, drr, params):
+        tenant = drr.add_tenant("a")
+        drr.enqueue(tenant, make_request("a"))
+        bucket = DualTokenBucket(params)
+        bucket.discard()
+        outcome, op, deficit = drr.pump(
+            lambda request: float(request.size_bytes), bucket, lambda *a: None
+        )
+        assert outcome == "tokens"
+        assert op is IoOp.READ
+        assert deficit == pytest.approx(128 * 1024)
+
+    def test_tokens_consumed_on_submit(self, drr, params):
+        tenant = drr.add_tenant("a")
+        drr.enqueue(tenant, make_request("a"))
+        bucket = full_bucket(params)
+        before = bucket.read_tokens
+        drr.pump(lambda request: float(request.size_bytes), bucket, lambda *a: None)
+        assert bucket.read_tokens == before - 128 * 1024
+
+    def test_weighted_tenant_gets_proportional_share(self, drr, params):
+        """Weighted DRR: a weight-3 tenant accrues quantum 3x as fast."""
+        heavy = drr.add_tenant("heavy", weight=3.0)
+        light = drr.add_tenant("light", weight=1.0)
+        for _ in range(40):
+            drr.enqueue(heavy, make_request("heavy"))
+            drr.enqueue(light, make_request("light"))
+        submitted = []
+        bucket = full_bucket(params)
+
+        def submit(request, tenant, slot):
+            submitted.append(request)
+            bucket.read_tokens = bucket.max_tokens
+            bucket.write_tokens = bucket.max_tokens
+            for _ in range(slot.submits - slot.completions):
+                if tenant.slots.on_completion(slot):
+                    drr.on_slot_freed(tenant)
+                    break
+
+        drr.pump(lambda request: float(request.size_bytes), bucket, submit)
+        window = submitted[:32]
+        heavy_count = sum(1 for r in window if r.tenant_id == "heavy")
+        light_count = len(window) - heavy_count
+        assert heavy_count >= 2 * light_count
+
+    def test_invalid_weight_rejected(self, drr):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            drr.add_tenant("bad", weight=0.0)
+
+    def test_trim_requests_cost_one_page_of_tokens(self, drr, params):
+        from repro.ssd.commands import IoOp as _IoOp
+
+        tenant = drr.add_tenant("a")
+        drr.enqueue(tenant, make_request("a", op=_IoOp.TRIM, npages=64))
+        bucket = full_bucket(params)
+        before = bucket.write_tokens
+        drr.pump(lambda request: 4096.0, bucket, lambda *a: None)
+        assert before - bucket.write_tokens == 4096
+
+    def test_idempotent_tenant_registration(self, drr):
+        first = drr.add_tenant("a")
+        second = drr.add_tenant("a")
+        assert first is second
+
+    def test_empty_pump_is_idle(self, drr, params):
+        outcome, _, _ = drr.pump(
+            lambda request: float(request.size_bytes), full_bucket(params), lambda *a: None
+        )
+        assert outcome == "idle"

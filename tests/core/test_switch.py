@@ -1,0 +1,147 @@
+"""Integration tests for the assembled Gimbal switch and its ablations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GimbalParams, GimbalScheduler
+from repro.core.ablations import (
+    ABLATIONS,
+    FixedThresholdGimbal,
+    NoSlotGimbal,
+    SingleBucketGimbal,
+    SingleTokenBucket,
+    StaticWriteCostGimbal,
+)
+from repro.fabric import CreditClientPolicy, Network, NvmeOfInitiator, NvmeOfTarget
+from repro.sim import Simulator
+from repro.ssd import SsdDevice, precondition_clean
+from repro.ssd.commands import IoOp
+
+
+def build_gimbal_rig(sim, scheduler_factory=GimbalScheduler):
+    network = Network(sim)
+    device = SsdDevice(sim)
+    precondition_clean(device)
+    target = NvmeOfTarget(sim, network, "jbof", {"ssd0": device}, scheduler_factory)
+    initiator = NvmeOfInitiator(sim, network, "client")
+    sessions = [
+        initiator.connect(f"t{i}", target, "ssd0", policy=CreditClientPolicy())
+        for i in range(2)
+    ]
+    return target.pipelines["ssd0"].scheduler, sessions
+
+
+class TestGimbalScheduler:
+    def test_end_to_end_io_flows(self, sim):
+        scheduler, sessions = build_gimbal_rig(sim)
+        done = []
+        for _ in range(20):
+            sessions[0].submit(IoOp.READ, 0, 1, on_complete=done.append)
+        sim.run()
+        assert len(done) == 20
+
+    def test_credits_granted(self, sim):
+        scheduler, sessions = build_gimbal_rig(sim)
+        done = []
+        sessions[0].submit(IoOp.READ, 0, 32, on_complete=done.append)
+        sim.run()
+        assert done[0].credit_grant >= 1
+
+    def test_virtual_view_has_headroom_fields(self, sim):
+        scheduler, sessions = build_gimbal_rig(sim)
+        sessions[0].submit(IoOp.READ, 0, 1)
+        sim.run()
+        view = scheduler.virtual_view()
+        assert set(view) >= {
+            "target_rate_mbps",
+            "read_headroom_mbps",
+            "write_headroom_mbps",
+            "write_cost",
+        }
+        assert view["read_headroom_mbps"] + view["write_headroom_mbps"] == pytest.approx(
+            view["target_rate_mbps"]
+        )
+
+    def test_write_cost_decays_on_buffered_writes(self, sim):
+        scheduler, sessions = build_gimbal_rig(sim)
+        state = {"n": 0}
+
+        def loop(request):
+            state["n"] += 1
+            if sim.now < 300_000.0:
+                # Light sequential write load: absorbed by the buffer.
+                sessions[0].submit(IoOp.WRITE, (state["n"] * 8) % 4096, 8, on_complete=loop)
+
+        sessions[0].submit(IoOp.WRITE, 0, 8, on_complete=loop)
+        sim.run(until_us=400_000.0)
+        assert scheduler.write_cost.cost < scheduler.write_cost.worst
+
+    def test_congestion_state_property(self, sim):
+        scheduler, sessions = build_gimbal_rig(sim)
+        sessions[0].submit(IoOp.READ, 0, 1)
+        sim.run()
+        assert scheduler.congestion_state is not None
+
+    def test_unknown_tenant_auto_registered(self, sim):
+        """A request from a tenant the switch has not seen registers it."""
+        scheduler, sessions = build_gimbal_rig(sim)
+        # credit_for on unknown tenant is 0, after traffic it is positive.
+        assert scheduler.credit_for("nobody") == 0
+
+
+class TestAblations:
+    def test_registry_contains_all_variants(self):
+        assert set(ABLATIONS) == {
+            "full",
+            "fixed-threshold",
+            "single-bucket",
+            "no-slots",
+            "static-cost",
+        }
+
+    @pytest.mark.parametrize(
+        "factory",
+        [FixedThresholdGimbal, SingleBucketGimbal, NoSlotGimbal, StaticWriteCostGimbal],
+    )
+    def test_each_variant_moves_io(self, sim, factory):
+        scheduler, sessions = build_gimbal_rig(sim, scheduler_factory=factory)
+        done = []
+        for _ in range(10):
+            sessions[0].submit(IoOp.READ, 0, 1, on_complete=done.append)
+            sessions[0].submit(IoOp.WRITE, 64, 1, on_complete=done.append)
+        sim.run()
+        assert len(done) == 20
+
+    def test_static_cost_never_updates(self, sim):
+        scheduler, sessions = build_gimbal_rig(sim, scheduler_factory=StaticWriteCostGimbal)
+        for _ in range(10):
+            sessions[0].submit(IoOp.WRITE, 0, 8)
+        sim.run()
+        assert scheduler.write_cost.cost == scheduler.write_cost.worst
+
+    def test_fixed_threshold_monitor_does_not_scale(self):
+        params = GimbalParams()
+        from repro.core.ablations import FixedThresholdMonitor
+
+        monitor = FixedThresholdMonitor(params, fixed_threshold_us=2000.0)
+        for _ in range(50):
+            monitor.observe(400.0)
+        assert monitor.threshold == 2000.0
+
+    def test_single_bucket_shares_pool(self):
+        params = GimbalParams()
+        bucket = SingleTokenBucket(params)
+        bucket.discard()
+        bucket.update(1000.0, target_rate=100.0, write_cost=9.0)
+        assert bucket.tokens_for(IoOp.READ) == bucket.tokens_for(IoOp.WRITE)
+        bucket.consume(IoOp.WRITE, 4096)
+        assert bucket.tokens_for(IoOp.READ) == bucket.tokens_for(IoOp.WRITE)
+
+    def test_no_slot_variant_never_defers(self, sim):
+        scheduler, sessions = build_gimbal_rig(sim, scheduler_factory=NoSlotGimbal)
+        for _ in range(64):
+            sessions[0].submit(IoOp.READ, 0, 32)
+        sim.run()
+        tenant = scheduler.drr.tenants["t0"]
+        assert not tenant.deferred

@@ -1,0 +1,137 @@
+"""Tests for virtual slots and per-tenant slot management (Section 3.5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SlotManager, VirtualSlot
+
+SLOT_BYTES = 128 * 1024
+
+
+class TestVirtualSlot:
+    def test_slot_fills_at_capacity(self):
+        slot = VirtualSlot(SLOT_BYTES)
+        slot.add(SLOT_BYTES)
+        assert slot.is_full
+
+    def test_slot_holds_many_small_ios(self):
+        slot = VirtualSlot(SLOT_BYTES)
+        for _ in range(31):
+            slot.add(4096)
+        assert not slot.is_full
+        slot.add(4096)
+        assert slot.is_full
+        assert slot.submits == 32
+
+    def test_add_to_full_slot_rejected(self):
+        slot = VirtualSlot(SLOT_BYTES)
+        slot.add(SLOT_BYTES)
+        with pytest.raises(RuntimeError):
+            slot.add(4096)
+
+    def test_drains_when_all_complete(self):
+        slot = VirtualSlot(SLOT_BYTES)
+        slot.add(SLOT_BYTES)
+        assert slot.complete_one() is True
+        assert slot.drained
+
+    def test_not_drained_while_incomplete(self):
+        slot = VirtualSlot(SLOT_BYTES)
+        for _ in range(32):
+            slot.add(4096)
+        for _ in range(31):
+            assert slot.complete_one() is False
+        assert slot.complete_one() is True
+
+    def test_excess_completions_rejected(self):
+        slot = VirtualSlot(SLOT_BYTES)
+        slot.add(SLOT_BYTES)
+        slot.complete_one()
+        with pytest.raises(RuntimeError):
+            slot.complete_one()
+
+    def test_weighted_size_can_overshoot_capacity(self):
+        """A cost-weighted write larger than the slot closes it alone."""
+        slot = VirtualSlot(SLOT_BYTES)
+        slot.add(9 * SLOT_BYTES)
+        assert slot.is_full
+        assert slot.submits == 1
+
+
+class TestSlotManager:
+    def test_place_within_limit(self):
+        manager = SlotManager(SLOT_BYTES)
+        slot = manager.try_place(4096, limit=2)
+        assert slot is not None
+        assert manager.slots_in_use == 1
+
+    def test_small_ios_share_one_slot(self):
+        manager = SlotManager(SLOT_BYTES)
+        slots = {id(manager.try_place(4096, limit=1)) for _ in range(32)}
+        assert len(slots) == 1
+
+    def test_limit_blocks_new_slot(self):
+        manager = SlotManager(SLOT_BYTES)
+        manager.try_place(SLOT_BYTES, limit=1)  # fills the only slot
+        assert manager.try_place(4096, limit=1) is None
+
+    def test_drain_frees_capacity(self):
+        manager = SlotManager(SLOT_BYTES)
+        slot = manager.try_place(SLOT_BYTES, limit=1)
+        assert manager.try_place(4096, limit=1) is None
+        freed = manager.on_completion(slot)
+        assert freed is True
+        assert manager.try_place(4096, limit=1) is not None
+
+    def test_last_drained_io_count_tracks_slot_contents(self):
+        manager = SlotManager(SLOT_BYTES)
+        placed = [manager.try_place(4096, limit=1) for _ in range(32)]
+        assert all(slot is placed[0] for slot in placed)
+        for _ in range(31):
+            assert manager.on_completion(placed[0]) is False
+        assert manager.on_completion(placed[0]) is True
+        assert manager.last_drained_io_count == 32
+
+    def test_multiple_slots_up_to_limit(self):
+        manager = SlotManager(SLOT_BYTES)
+        first = manager.try_place(SLOT_BYTES, limit=2)
+        second = manager.try_place(SLOT_BYTES, limit=2)
+        assert first is not second
+        assert manager.slots_in_use == 2
+        assert manager.try_place(4096, limit=2) is None
+
+    def test_invalid_weighted_size_rejected(self):
+        manager = SlotManager(SLOT_BYTES)
+        with pytest.raises(ValueError):
+            manager.try_place(0.0, limit=1)
+
+    def test_invalid_slot_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            SlotManager(0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=9 * SLOT_BYTES), min_size=1, max_size=200))
+    def test_in_use_never_exceeds_limit(self, sizes):
+        """Property: slots in use never exceed the limit; every placed IO
+        is eventually completable and every slot drains."""
+        manager = SlotManager(SLOT_BYTES)
+        limit = 3
+        open_slots = []
+        for weighted in sizes:
+            slot = manager.try_place(float(weighted), limit)
+            if slot is None:
+                # Complete everything outstanding to free capacity.
+                for pending_slot, count in open_slots:
+                    for _ in range(count):
+                        manager.on_completion(pending_slot)
+                open_slots.clear()
+                slot = manager.try_place(float(weighted), limit)
+                assert slot is not None
+            if open_slots and open_slots[-1][0] is slot:
+                open_slots[-1] = (slot, open_slots[-1][1] + 1)
+            else:
+                open_slots.append((slot, 1))
+            assert manager.slots_in_use <= limit

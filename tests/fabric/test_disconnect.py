@@ -1,0 +1,88 @@
+"""Tests for tenant disconnect and share redistribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FifoScheduler, FlashFqScheduler, ReflexScheduler
+from repro.core import GimbalScheduler
+from repro.fabric import CreditClientPolicy, Network, NvmeOfInitiator, NvmeOfTarget
+from repro.ssd import NullDevice, SsdDevice, precondition_clean
+from repro.ssd.commands import IoOp
+
+
+def build(sim, scheduler_factory=GimbalScheduler, tenants=2):
+    network = Network(sim)
+    target = NvmeOfTarget(sim, network, "j", {"ssd0": NullDevice(sim)}, scheduler_factory)
+    initiator = NvmeOfInitiator(sim, network, "c")
+    sessions = [
+        initiator.connect(f"t{i}", target, "ssd0") for i in range(tenants)
+    ]
+    return target, initiator, sessions
+
+
+class TestDisconnect:
+    def test_disconnect_removes_tenant(self, sim):
+        target, initiator, sessions = build(sim)
+        scheduler = target.pipelines["ssd0"].scheduler
+        assert "t0" in scheduler.drr.tenants
+        sessions[0].disconnect()
+        assert "t0" not in scheduler.drr.tenants
+        assert sessions[0] not in initiator.sessions
+
+    def test_disconnect_with_inflight_rejected(self, sim):
+        _, _, sessions = build(sim)
+        sessions[0].submit(IoOp.READ, 0, 1)
+        with pytest.raises(RuntimeError):
+            sessions[0].disconnect()
+        sim.run()
+        sessions[0].disconnect()
+
+    def test_slot_share_grows_when_tenants_leave(self, sim):
+        target, _, sessions = build(sim, tenants=8)
+        scheduler = target.pipelines["ssd0"].scheduler
+        assert scheduler.drr.slot_limit == 1
+        for session in sessions[:6]:
+            session.disconnect()
+        assert scheduler.drr.slot_limit == 4
+
+    def test_remaining_tenants_keep_working(self, sim):
+        target, _, sessions = build(sim, tenants=3)
+        for session in sessions:
+            session.submit(IoOp.READ, 0, 1)
+        sim.run()
+        sessions[0].disconnect()
+        done = []
+        sessions[1].submit(IoOp.READ, 0, 1, on_complete=done.append)
+        sim.run()
+        assert len(done) == 1
+
+    @pytest.mark.parametrize(
+        "factory", [FifoScheduler, ReflexScheduler, FlashFqScheduler]
+    )
+    def test_baseline_schedulers_support_disconnect(self, sim, factory):
+        target, _, sessions = build(sim, scheduler_factory=factory)
+        sessions[0].submit(IoOp.READ, 0, 1)
+        sim.run()
+        sessions[0].disconnect()
+        done = []
+        sessions[1].submit(IoOp.READ, 0, 1, on_complete=done.append)
+        sim.run()
+        assert len(done) == 1
+
+    def test_gimbal_rejects_disconnect_with_target_side_backlog(self, sim):
+        """Pending IO inside the switch blocks disconnect too."""
+        network = Network(sim)
+        device = SsdDevice(sim)
+        precondition_clean(device)
+        target = NvmeOfTarget(sim, network, "j", {"ssd0": device}, GimbalScheduler)
+        session = NvmeOfInitiator(sim, network, "c").connect(
+            "t", target, "ssd0", policy=CreditClientPolicy()
+        )
+        for _ in range(4):
+            session.submit(IoOp.READ, 0, 32)
+        sim.run(until_us=20.0)  # capsules en route / queued at the switch
+        with pytest.raises(RuntimeError):
+            session.disconnect()
+        sim.run()
+        session.disconnect()

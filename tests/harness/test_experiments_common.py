@@ -1,0 +1,62 @@
+"""Tests for the shared experiment helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import common
+from repro.harness.testbed import TestbedConfig
+
+
+class TestSpecs:
+    def test_read_spec_defaults(self):
+        spec = common.read_spec("r", 1)
+        assert spec.read_ratio == 1.0
+        assert spec.queue_depth == 32  # paper: QD32 for 4 KiB
+        assert spec.pattern == "random"
+
+    def test_large_read_spec_uses_qd4(self):
+        assert common.read_spec("r", 32).queue_depth == 4
+
+    def test_write_spec_pattern_by_size(self):
+        # Section 5.1: 128 KiB writes sequential, 4 KiB writes random.
+        assert common.write_spec("w", 32).pattern == "sequential"
+        assert common.write_spec("w", 1).pattern == "random"
+
+    def test_default_queue_depth_fallback(self):
+        assert common.default_queue_depth(8) == 8
+
+
+class TestRunWorkers:
+    def test_results_contain_testbed(self):
+        results = common.run_workers(
+            TestbedConfig(scheme="vanilla", condition="clean"),
+            [common.read_spec("r", 1)],
+            warmup_us=5_000.0,
+            measure_us=20_000.0,
+        )
+        assert "testbed" in results
+        assert results["workers"][0]["bandwidth_mbps"] > 0
+
+
+class TestStandaloneCache:
+    def test_standalone_bandwidth_cached(self):
+        spec = common.read_spec("probe", 1)
+        first = common.standalone_bandwidth("clean", spec, measure_us=30_000.0)
+        # Second call with the same shape must hit the cache (identical
+        # value, no new simulation).
+        second = common.standalone_bandwidth("clean", spec, measure_us=30_000.0)
+        assert first == second
+        assert first > 100.0
+
+    def test_futils_shape(self):
+        specs = [common.read_spec(f"r{i}", 1) for i in range(2)]
+        results = common.run_workers(
+            TestbedConfig(scheme="vanilla", condition="clean"),
+            specs,
+            warmup_us=5_000.0,
+            measure_us=30_000.0,
+        )
+        futils = common.f_utils_for(results, specs, "clean")
+        assert len(futils) == 2
+        assert all(value > 0 for value in futils)

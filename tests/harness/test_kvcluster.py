@@ -1,0 +1,70 @@
+"""Integration tests for the KV cluster builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.kvcluster import KvCluster, KvClusterConfig
+
+
+def small_cluster(**kwargs):
+    defaults = dict(scheme="gimbal", condition="clean", num_jbofs=1, ssds_per_jbof=2)
+    defaults.update(kwargs)
+    return KvCluster(KvClusterConfig(**defaults))
+
+
+class TestKvCluster:
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            KvClusterConfig(scheme="bogus")
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            KvClusterConfig(num_jbofs=0)
+
+    def test_load_and_run(self):
+        cluster = small_cluster()
+        cluster.add_instance("db0", "A", record_count=256, concurrency=2)
+        cluster.load_all()
+        assert cluster.runners[0].loaded
+        results = cluster.run(warmup_us=50_000, measure_us=150_000)
+        assert results["total_kops"] > 0
+        assert results["instances"][0]["kops"] > 0
+
+    def test_loaded_keys_are_readable(self):
+        cluster = small_cluster()
+        runner = cluster.add_instance("db0", "C", record_count=128, concurrency=2)
+        cluster.load_all()
+        for key in range(128):
+            assert runner.tree.contains(key)
+
+    def test_multiple_instances_share_backends(self):
+        cluster = small_cluster()
+        a = cluster.add_instance("db0", "A", record_count=128)
+        b = cluster.add_instance("db1", "B", record_count=128)
+        assert set(a.tree.store.backends) == set(b.tree.store.backends)
+        cluster.load_all()
+
+    def test_flow_control_toggle_changes_policy(self):
+        from repro.fabric.policies import CreditClientPolicy, UnlimitedClientPolicy
+
+        with_fc = small_cluster(flow_control=True)
+        without_fc = small_cluster(flow_control=False)
+        runner_fc = with_fc.add_instance("db0", "A", record_count=64)
+        runner_nofc = without_fc.add_instance("db0", "A", record_count=64)
+        backend_fc = next(iter(runner_fc.tree.store.backends.values()))
+        backend_nofc = next(iter(runner_nofc.tree.store.backends.values()))
+        assert isinstance(backend_fc.session.policy, CreditClientPolicy)
+        assert isinstance(backend_nofc.session.policy, UnlimitedClientPolicy)
+
+    def test_load_balance_toggle(self):
+        cluster = small_cluster(load_balance=False)
+        runner = cluster.add_instance("db0", "A", record_count=64)
+        assert runner.tree.store.load_balance_reads is False
+
+    def test_gimbal_credits_flow_to_backends(self):
+        cluster = small_cluster()
+        runner = cluster.add_instance("db0", "A", record_count=256)
+        cluster.load_all()
+        credits = [backend.credit for backend in runner.tree.store.backends.values()]
+        assert any(credit > 0 for credit in credits)

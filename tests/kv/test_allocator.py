@@ -1,0 +1,145 @@
+"""Tests for the hierarchical blob allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kv import BlobAddress, GlobalBlobAllocator, LocalBlobAllocator
+from repro.workloads import AddressRegion
+
+
+def make_global(backends=2, megas_per_backend=4, mega_pages=256, load_of=None):
+    allocator = GlobalBlobAllocator(mega_pages=mega_pages, load_of=load_of)
+    for index in range(backends):
+        allocator.register_backend(
+            f"b{index}", AddressRegion(0, megas_per_backend * mega_pages)
+        )
+    return allocator
+
+
+class TestBlobAddress:
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            BlobAddress("b", -1, 10)
+        with pytest.raises(ValueError):
+            BlobAddress("b", 0, 0)
+
+
+class TestGlobalAllocator:
+    def test_allocates_mega_sized_blobs(self):
+        allocator = make_global()
+        mega = allocator.allocate_mega()
+        assert mega.npages == 256
+        assert mega.backend in ("b0", "b1")
+
+    def test_allocations_are_disjoint(self):
+        allocator = make_global()
+        seen = set()
+        for _ in range(8):
+            mega = allocator.allocate_mega()
+            key = (mega.backend, mega.lba)
+            assert key not in seen
+            seen.add(key)
+
+    def test_exhaustion_raises(self):
+        allocator = make_global(backends=1, megas_per_backend=2)
+        allocator.allocate_mega()
+        allocator.allocate_mega()
+        with pytest.raises(RuntimeError):
+            allocator.allocate_mega()
+
+    def test_free_allows_reuse(self):
+        allocator = make_global(backends=1, megas_per_backend=1)
+        mega = allocator.allocate_mega()
+        allocator.free_mega(mega)
+        again = allocator.allocate_mega()
+        assert again.lba == mega.lba
+
+    def test_double_free_rejected(self):
+        allocator = make_global(backends=1)
+        mega = allocator.allocate_mega()
+        allocator.free_mega(mega)
+        with pytest.raises(ValueError):
+            allocator.free_mega(mega)
+
+    def test_load_aware_choice(self):
+        loads = {"b0": 10.0, "b1": 1.0}
+        allocator = make_global(load_of=lambda name: loads[name])
+        assert allocator.allocate_mega().backend == "b1"
+
+    def test_exclude_set_respected(self):
+        allocator = make_global()
+        mega = allocator.allocate_mega(exclude={"b0"})
+        assert mega.backend == "b1"
+
+    def test_duplicate_backend_rejected(self):
+        allocator = make_global()
+        with pytest.raises(ValueError):
+            allocator.register_backend("b0", AddressRegion(0, 256))
+
+    def test_region_smaller_than_mega_rejected(self):
+        allocator = GlobalBlobAllocator(mega_pages=256)
+        with pytest.raises(ValueError):
+            allocator.register_backend("tiny", AddressRegion(0, 100))
+
+
+class TestLocalAllocator:
+    def test_micro_blobs_carved_from_mega(self):
+        global_allocator = make_global()
+        local = LocalBlobAllocator(global_allocator, micro_pages=64)
+        micro = local.allocate_micro()
+        assert micro.npages == 64
+        # One mega consumed, rest in the free pool.
+        assert local.free_micros == 256 // 64 - 1
+
+    def test_micro_size_must_divide_mega(self):
+        global_allocator = make_global()
+        with pytest.raises(ValueError):
+            LocalBlobAllocator(global_allocator, micro_pages=100)
+
+    def test_refill_on_exhaustion(self):
+        global_allocator = make_global()
+        local = LocalBlobAllocator(global_allocator, micro_pages=64)
+        micros = [local.allocate_micro() for _ in range(10)]
+        assert len(micros) == 10
+        assert len({(m.backend, m.lba) for m in micros}) == 10
+
+    def test_exclude_backend_for_replicas(self):
+        global_allocator = make_global()
+        local = LocalBlobAllocator(global_allocator, micro_pages=64)
+        primary = local.allocate_micro()
+        shadow = local.allocate_micro(exclude_backends={primary.backend})
+        assert shadow.backend != primary.backend
+
+    def test_free_returns_to_pool(self):
+        global_allocator = make_global()
+        local = LocalBlobAllocator(global_allocator, micro_pages=64)
+        micro = local.allocate_micro()
+        before = local.free_micros
+        local.free_micro(micro)
+        assert local.free_micros == before + 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=120))
+    def test_allocate_free_interleaving_never_double_allocates(self, ops):
+        """Property: live micro blobs are always mutually disjoint."""
+        global_allocator = make_global(backends=2, megas_per_backend=3, mega_pages=256)
+        local = LocalBlobAllocator(global_allocator, micro_pages=64)
+        live = []
+        for is_alloc in ops:
+            if is_alloc:
+                try:
+                    micro = local.allocate_micro()
+                except RuntimeError:
+                    continue
+                live.append(micro)
+            elif live:
+                local.free_micro(live.pop())
+            spans = sorted(
+                (m.backend, m.lba, m.lba + m.npages) for m in live
+            )
+            for (b1, s1, e1), (b2, s2, e2) in zip(spans, spans[1:]):
+                if b1 == b2:
+                    assert e1 <= s2, "overlapping live blobs"

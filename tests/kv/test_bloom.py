@@ -1,0 +1,69 @@
+"""Tests for the Bloom filter."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kv.bloom import BloomFilter
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(expected_items=1000, fp_rate=0.01)
+        for key in range(1000):
+            bloom.add(key)
+        for key in range(1000):
+            assert bloom.might_contain(key)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter(expected_items=2000, fp_rate=0.01)
+        for key in range(2000):
+            bloom.add(key)
+        rng = random.Random(0)
+        probes = 20_000
+        false_positives = sum(
+            1 for _ in range(probes) if bloom.might_contain(rng.randrange(10**9) + 10**6)
+        )
+        assert false_positives / probes < 0.03  # target 1%, allow slack
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(expected_items=100)
+        assert not bloom.might_contain(42)
+
+    def test_from_keys(self):
+        bloom = BloomFilter.from_keys([1, 5, 9])
+        assert bloom.items_added == 3
+        assert bloom.might_contain(5)
+
+    def test_from_empty_keys(self):
+        bloom = BloomFilter.from_keys([])
+        assert not bloom.might_contain(0)
+
+    def test_sizing_scales_with_items(self):
+        small = BloomFilter(expected_items=100, fp_rate=0.01)
+        large = BloomFilter(expected_items=10_000, fp_rate=0.01)
+        assert large.num_bits > 50 * small.num_bits // 2
+
+    def test_tighter_fp_rate_uses_more_bits(self):
+        loose = BloomFilter(expected_items=1000, fp_rate=0.1)
+        tight = BloomFilter(expected_items=1000, fp_rate=0.001)
+        assert tight.num_bits > loose.num_bits
+        assert tight.num_hashes >= loose.num_hashes
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(expected_items=0)
+        with pytest.raises(ValueError):
+            BloomFilter(expected_items=10, fp_rate=1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**63), min_size=1, max_size=500))
+    def test_property_no_false_negatives(self, keys):
+        """Property: every added key is reported as possibly present."""
+        bloom = BloomFilter.from_keys(keys)
+        for key in keys:
+            assert bloom.might_contain(key)

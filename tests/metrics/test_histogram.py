@@ -1,0 +1,124 @@
+"""Tests for the log-bucketed latency histogram."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import LatencyHistogram
+
+
+class TestBasics:
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(99.0) == 0.0
+
+    def test_single_sample_percentiles_are_exact(self):
+        histogram = LatencyHistogram()
+        histogram.record(123.0)
+        for pct in (0.0, 50.0, 99.0, 100.0):
+            assert histogram.percentile(pct) == pytest.approx(123.0)
+
+    def test_mean_is_exact(self):
+        histogram = LatencyHistogram()
+        for value in (10.0, 20.0, 30.0):
+            histogram.record(value)
+        assert histogram.mean == pytest.approx(20.0)
+
+    def test_min_max_tracked_exactly(self):
+        histogram = LatencyHistogram()
+        for value in (5.0, 500.0, 50.0):
+            histogram.record(value)
+        assert histogram.min == 5.0
+        assert histogram.max == 500.0
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1.0)
+
+    def test_out_of_range_percentile_rejected(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.percentile(101.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(-0.1)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_value=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_value=10.0, max_value=5.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.0)
+
+
+class TestAccuracy:
+    def test_uniform_percentiles_within_tolerance(self):
+        rng = random.Random(1)
+        histogram = LatencyHistogram()
+        samples = [rng.uniform(10.0, 10_000.0) for _ in range(20_000)]
+        for sample in samples:
+            histogram.record(sample)
+        samples.sort()
+        for pct in (50.0, 90.0, 99.0, 99.9):
+            exact = samples[int(pct / 100.0 * len(samples)) - 1]
+            estimate = histogram.percentile(pct)
+            assert abs(estimate - exact) / exact < 0.05
+
+    def test_values_above_range_clamped_but_counted(self):
+        histogram = LatencyHistogram(min_value=1.0, max_value=100.0)
+        histogram.record(1e9)
+        assert histogram.count == 1
+        assert histogram.mean == pytest.approx(1e9)
+
+    def test_summary_keys(self):
+        histogram = LatencyHistogram()
+        histogram.record(10.0)
+        summary = histogram.summary()
+        assert set(summary) == {"count", "mean", "p50", "p99", "p999", "max"}
+
+
+class TestMerge:
+    def test_merge_accumulates(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        for value in (10.0, 20.0):
+            a.record(value)
+        for value in (30.0, 40.0):
+            b.record(value)
+        a.merge(b)
+        assert a.count == 4
+        assert a.mean == pytest.approx(25.0)
+        assert a.max == 40.0
+
+    def test_merge_rejects_mismatched_configuration(self):
+        a = LatencyHistogram(min_value=1.0)
+        b = LatencyHistogram(min_value=2.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=300))
+    def test_percentiles_monotonic(self, samples):
+        """Property: percentile is non-decreasing in pct."""
+        histogram = LatencyHistogram()
+        for sample in samples:
+            histogram.record(sample)
+        values = [histogram.percentile(pct) for pct in (1, 25, 50, 75, 99, 100)]
+        assert values == sorted(values)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=300))
+    def test_percentiles_within_observed_range(self, samples):
+        """Property: every percentile lies within [min, max] of the data."""
+        histogram = LatencyHistogram()
+        for sample in samples:
+            histogram.record(sample)
+        for pct in (0, 10, 50, 90, 100):
+            value = histogram.percentile(pct)
+            assert histogram.min <= value <= histogram.max

@@ -1,0 +1,54 @@
+"""Tests for the windowed percentile timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.timeline import PercentileTimeline
+
+
+class TestPercentileTimeline:
+    def test_windows_partition_time(self):
+        timeline = PercentileTimeline(window_us=100.0)
+        timeline.record(50.0, 10.0)
+        timeline.record(150.0, 20.0)
+        timeline.record(151.0, 30.0)
+        assert timeline.window_count == 2
+        series = timeline.mean_series()
+        assert series[0] == (0.0, pytest.approx(10.0))
+        assert series[1] == (100.0, pytest.approx(25.0))
+
+    def test_percentile_series(self):
+        timeline = PercentileTimeline(window_us=100.0)
+        for value in range(1, 101):
+            timeline.record(10.0, float(value))
+        p99 = timeline.series(99.0)
+        assert len(p99) == 1
+        assert p99[0][1] == pytest.approx(99.0, rel=0.05)
+
+    def test_series_sorted_by_window(self):
+        timeline = PercentileTimeline(window_us=10.0)
+        timeline.record(95.0, 1.0)
+        timeline.record(5.0, 1.0)
+        starts = [t for t, _ in timeline.series(50.0)]
+        assert starts == sorted(starts)
+
+    def test_multi_series(self):
+        timeline = PercentileTimeline(window_us=10.0)
+        for value in range(100):
+            timeline.record(1.0, float(value + 1))
+        result = timeline.multi_series([50.0, 99.0])
+        assert set(result) == {50.0, 99.0}
+        assert result[99.0][0][1] >= result[50.0][0][1]
+
+    def test_total_merges_all_windows(self):
+        timeline = PercentileTimeline(window_us=10.0)
+        timeline.record(1.0, 5.0)
+        timeline.record(15.0, 15.0)
+        merged = timeline.total()
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(10.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            PercentileTimeline(window_us=0.0)

@@ -1,0 +1,175 @@
+"""Tests for the NVMe layer: commands, namespaces, qpairs, controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nvme import (
+    Namespace,
+    NamespaceError,
+    NvmeCommand,
+    NvmeController,
+    NvmeOpcode,
+    NvmeQueuePair,
+    NvmeStatus,
+    QueueFullError,
+)
+from repro.ssd import NullDevice, SsdDevice, precondition_clean
+
+
+class TestCommands:
+    def test_size_bytes(self):
+        assert NvmeCommand(NvmeOpcode.READ, 1, 0, 32).size_bytes == 131072
+
+    def test_unique_cids(self):
+        a = NvmeCommand(NvmeOpcode.READ, 1, 0, 1)
+        b = NvmeCommand(NvmeOpcode.READ, 1, 0, 1)
+        assert a.cid != b.cid
+
+    def test_invalid_command_rejected(self):
+        with pytest.raises(ValueError):
+            NvmeCommand(NvmeOpcode.READ, 0, 0, 1)  # nsid 0
+        with pytest.raises(ValueError):
+            NvmeCommand(NvmeOpcode.READ, 1, -1, 1)
+        with pytest.raises(ValueError):
+            NvmeCommand(NvmeOpcode.READ, 1, 0, 0)
+
+
+class TestNamespace:
+    def test_translate(self):
+        namespace = Namespace(1, "ssd0", base_lpn=100, npages=50)
+        assert namespace.translate(0, 1) == 100
+        assert namespace.translate(49, 1) == 149
+
+    def test_out_of_range_rejected(self):
+        namespace = Namespace(1, "ssd0", base_lpn=100, npages=50)
+        with pytest.raises(NamespaceError):
+            namespace.translate(49, 2)
+        with pytest.raises(NamespaceError):
+            namespace.translate(-1, 1)
+
+    def test_invalid_namespace_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace(0, "s", 0, 10)
+        with pytest.raises(ValueError):
+            Namespace(1, "s", 0, 0)
+
+    def test_size_bytes(self):
+        assert Namespace(1, "s", 0, 256).size_bytes == 1 << 20
+
+
+class TestController:
+    def test_namespaces_pack_sequentially(self, sim):
+        controller = NvmeController(sim, NullDevice(sim))
+        first = controller.create_namespace(100)
+        second = controller.create_namespace(200)
+        assert first.base_lpn == 0
+        assert second.base_lpn == 100
+        assert second.nsid == 2
+
+    def test_namespace_beyond_capacity_rejected(self, sim):
+        device = SsdDevice(sim)
+        controller = NvmeController(sim, device)
+        with pytest.raises(ValueError):
+            controller.create_namespace(device.exported_pages + 1)
+
+    def test_read_write_round_trip(self, sim):
+        device = SsdDevice(sim)
+        precondition_clean(device)
+        controller = NvmeController(sim, device)
+        controller.create_namespace(1024)
+        completions = []
+        controller.execute(
+            NvmeCommand(NvmeOpcode.WRITE, 1, 10, 4), completions.append
+        )
+        controller.execute(
+            NvmeCommand(NvmeOpcode.READ, 1, 10, 4), completions.append
+        )
+        sim.run()
+        assert len(completions) == 2
+        assert all(completion.ok for completion in completions)
+        assert all(completion.latency_us > 0 for completion in completions)
+
+    def test_invalid_namespace_fails_fast(self, sim):
+        controller = NvmeController(sim, NullDevice(sim))
+        completions = []
+        controller.execute(NvmeCommand(NvmeOpcode.READ, 9, 0, 1), completions.append)
+        sim.run()
+        assert completions[0].status is NvmeStatus.INVALID_NAMESPACE
+
+    def test_lba_out_of_range_fails(self, sim):
+        controller = NvmeController(sim, NullDevice(sim))
+        controller.create_namespace(10)
+        completions = []
+        controller.execute(NvmeCommand(NvmeOpcode.READ, 1, 8, 4), completions.append)
+        sim.run()
+        assert completions[0].status is NvmeStatus.LBA_OUT_OF_RANGE
+
+    def test_flush_is_immediate(self, sim):
+        controller = NvmeController(sim, NullDevice(sim))
+        controller.create_namespace(10)
+        completions = []
+        controller.execute(NvmeCommand(NvmeOpcode.FLUSH, 1, 0, 1), completions.append)
+        sim.run()
+        assert completions[0].ok
+        assert completions[0].latency_us == 0.0
+
+
+class TestQueuePair:
+    def test_depth_enforced(self, sim):
+        controller = NvmeController(sim, SsdDevice(sim))
+        controller.create_namespace(256)
+        qpair = controller.create_queue_pair(depth=2)
+        qpair.submit(NvmeCommand(NvmeOpcode.WRITE, 1, 0, 1))
+        qpair.submit(NvmeCommand(NvmeOpcode.WRITE, 1, 1, 1))
+        with pytest.raises(QueueFullError):
+            qpair.submit(NvmeCommand(NvmeOpcode.WRITE, 1, 2, 1))
+        sim.run()
+        assert qpair.outstanding == 0
+        assert qpair.completed == 2
+
+    def test_qids_increment(self, sim):
+        controller = NvmeController(sim, NullDevice(sim))
+        a = controller.create_queue_pair()
+        b = controller.create_queue_pair()
+        assert a.qid != b.qid
+
+    def test_invalid_depth_rejected(self, sim):
+        controller = NvmeController(sim, NullDevice(sim))
+        with pytest.raises(ValueError):
+            NvmeQueuePair(controller, depth=0)
+
+
+class TestFabricNamespaceIntegration:
+    def test_pipeline_translates_namespace_lbas(self, sim):
+        from repro.baselines import FifoScheduler
+        from repro.fabric import Network, NvmeOfInitiator, NvmeOfTarget
+        from repro.ssd.commands import IoOp
+
+        network = Network(sim)
+        device = SsdDevice(sim)
+        precondition_clean(device)
+        target = NvmeOfTarget(sim, network, "j", {"ssd0": device}, FifoScheduler)
+        initiator = NvmeOfInitiator(sim, network, "c")
+        session = initiator.connect("t", target, "ssd0")
+        namespace = Namespace(1, "ssd0", base_lpn=5000, npages=100)
+        target.pipeline("ssd0").register_tenant("t", session.client_port, namespace=namespace)
+        done = []
+        session.submit(IoOp.READ, 0, 1, on_complete=done.append)
+        sim.run()
+        assert len(done) == 1
+
+    def test_pipeline_rejects_out_of_namespace_io(self, sim):
+        from repro.baselines import FifoScheduler
+        from repro.fabric import Network, NvmeOfInitiator, NvmeOfTarget
+        from repro.ssd.commands import IoOp
+
+        network = Network(sim)
+        target = NvmeOfTarget(sim, network, "j", {"ssd0": NullDevice(sim)}, FifoScheduler)
+        initiator = NvmeOfInitiator(sim, network, "c")
+        session = initiator.connect("t", target, "ssd0")
+        namespace = Namespace(1, "ssd0", base_lpn=0, npages=10)
+        target.pipeline("ssd0").register_tenant("t", session.client_port, namespace=namespace)
+        session.submit(IoOp.READ, 50, 1)
+        with pytest.raises(NamespaceError):
+            sim.run()

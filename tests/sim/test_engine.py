@@ -1,0 +1,299 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import SimulationError
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_runs_callback_at_delay(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_at_runs_callback_at_absolute_time(self, sim):
+        fired = []
+        sim.at(12.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [12.5]
+
+    def test_callback_args_are_passed(self, sim):
+        got = []
+        sim.schedule(1.0, lambda a, b: got.append((a, b)), 1, "x")
+        sim.run()
+        assert got == [(1, "x")]
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        order = []
+        for name in "abcde":
+            sim.schedule(7.0, order.append, name)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self, sim):
+        sim.at(10.0, lambda: None)
+        sim.run()
+        assert sim.now == 10.0
+        with pytest.raises(SimulationError):
+            sim.at(5.0, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(2.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_pending_excludes_cancelled(self, sim):
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        assert keep is not drop
+
+
+class TestRunBounds:
+    def test_run_until_stops_clock_at_deadline(self, sim):
+        sim.schedule(100.0, lambda: None)
+        sim.run(until_us=50.0)
+        assert sim.now == 50.0
+        assert sim.pending == 1
+
+    def test_event_exactly_at_deadline_fires(self, sim):
+        fired = []
+        sim.schedule(50.0, lambda: fired.append(1))
+        sim.run(until_us=50.0)
+        assert fired == [1]
+
+    def test_run_advances_to_deadline_even_when_heap_empty(self, sim):
+        sim.run(until_us=123.0)
+        assert sim.now == 123.0
+
+    def test_run_resumes_after_deadline(self, sim):
+        fired = []
+        sim.schedule(100.0, lambda: fired.append(sim.now))
+        sim.run(until_us=50.0)
+        sim.run(until_us=150.0)
+        assert fired == [100.0]
+
+    def test_max_events_bound(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_step_executes_one_event(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        assert sim.step() is True
+        assert fired == ["a"]
+
+
+class TestProcesses:
+    def test_process_sleeps(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield 10.0
+            trace.append(sim.now)
+            yield 5.0
+            trace.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert trace == [0.0, 10.0, 15.0]
+
+    def test_process_waits_on_waiter(self, sim):
+        trace = []
+        waiter = sim.waiter()
+
+        def proc():
+            value = yield waiter
+            trace.append((sim.now, value))
+
+        sim.process(proc())
+        sim.schedule(42.0, waiter.trigger, "done")
+        sim.run()
+        assert trace == [(42.0, "done")]
+
+    def test_already_triggered_waiter_resumes_promptly(self, sim):
+        waiter = sim.waiter()
+        waiter.trigger("early")
+        trace = []
+
+        def proc():
+            value = yield waiter
+            trace.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert trace == ["early"]
+
+    def test_waiter_double_trigger_rejected(self, sim):
+        waiter = sim.waiter()
+        waiter.trigger()
+        with pytest.raises(SimulationError):
+            waiter.trigger()
+
+    def test_process_stop_prevents_resumption(self, sim):
+        trace = []
+
+        def proc():
+            yield 10.0
+            trace.append("should not happen")
+
+        process = sim.process(proc())
+        process.stop()
+        sim.run()
+        assert trace == []
+        assert not process.alive
+
+    def test_process_finishes_naturally(self, sim):
+        def proc():
+            yield 1.0
+
+        process = sim.process(proc())
+        sim.run()
+        assert not process.alive
+
+    def test_process_rejects_bad_yield(self, sim):
+        def proc():
+            yield "nonsense"
+
+        with pytest.raises(SimulationError):
+            sim.process(proc())
+            sim.run()
+
+
+class TestDeterminism:
+    def test_two_identical_runs_interleave_identically(self):
+        def build():
+            sim = Simulator()
+            order = []
+            for i in range(50):
+                sim.schedule((i * 7) % 13 + 0.5, order.append, i)
+            sim.run()
+            return order
+
+        assert build() == build()
+
+
+class TestWaiterCombinators:
+    def test_all_of_waits_for_everyone(self, sim):
+        from repro.sim import all_of
+
+        waiters = [sim.waiter() for _ in range(3)]
+        got = []
+
+        def proc():
+            values = yield all_of(sim, waiters)
+            got.append((sim.now, values))
+
+        sim.process(proc())
+        sim.schedule(10.0, waiters[0].trigger, "a")
+        sim.schedule(30.0, waiters[2].trigger, "c")
+        sim.schedule(20.0, waiters[1].trigger, "b")
+        sim.run()
+        assert got == [(30.0, ["a", "b", "c"])]
+
+    def test_all_of_empty_is_immediate(self, sim):
+        from repro.sim import all_of
+
+        got = []
+
+        def proc():
+            values = yield all_of(sim, [])
+            got.append(values)
+
+        sim.process(proc())
+        sim.run()
+        assert got == [[]]
+
+    def test_any_of_triggers_on_first(self, sim):
+        from repro.sim import any_of
+
+        waiters = [sim.waiter() for _ in range(3)]
+        got = []
+
+        def proc():
+            winner = yield any_of(sim, waiters)
+            got.append((sim.now, winner))
+
+        sim.process(proc())
+        sim.schedule(20.0, waiters[0].trigger, "slow")
+        sim.schedule(5.0, waiters[1].trigger, "fast")
+        sim.run()
+        assert got == [(5.0, (1, "fast"))]
+
+    def test_any_of_ignores_later_triggers(self, sim):
+        from repro.sim import any_of
+
+        waiters = [sim.waiter(), sim.waiter()]
+        combined = any_of(sim, waiters)
+        waiters[0].trigger("first")
+        waiters[1].trigger("second")
+        sim.run()
+        assert combined.triggered
+
+    def test_any_of_empty_rejected(self, sim):
+        from repro.sim import any_of
+        from repro.sim.engine import SimulationError as SimError
+
+        with pytest.raises(SimError):
+            any_of(sim, [])
+
+    def test_all_of_with_pretriggered_waiter(self, sim):
+        from repro.sim import all_of
+
+        ready = sim.waiter()
+        ready.trigger("early")
+        pending = sim.waiter()
+        got = []
+
+        def proc():
+            values = yield all_of(sim, [ready, pending])
+            got.append(values)
+
+        sim.process(proc())
+        sim.schedule(7.0, pending.trigger, "late")
+        sim.run()
+        assert got == [["early", "late"]]

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestCliList:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+
+class TestCliRun:
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "fig999"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_quick_table2(self, capsys):
+        assert main(["run", "table2", "--quick"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_run_quick_fig15(self, capsys):
+        assert main(["run", "fig15", "--quick"]) == 0
+        assert "Figure 15" in capsys.readouterr().out
+
+    def test_every_experiment_is_importable(self):
+        import importlib
+
+        for name, (module_path, quick_kwargs) in EXPERIMENTS.items():
+            module = importlib.import_module(module_path)
+            assert hasattr(module, "run"), name
+            assert hasattr(module, "summarize"), name
+
+
+class TestCliCalibrate:
+    def test_calibrate_prints_anchors(self, capsys):
+        assert main(["calibrate", "--duration-ms", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Device anchors" in out
+        assert "4K rand read QD128" in out
+
+
+class TestCliSimulate:
+    def test_simulate_prints_tenants(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--scheme",
+                    "vanilla",
+                    "--readers",
+                    "1",
+                    "--writers",
+                    "1",
+                    "--seconds",
+                    "0.1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reader0" in out
+        assert "writer0" in out
+
+    def test_parser_rejects_bad_io_size(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--io-kb", "7"])

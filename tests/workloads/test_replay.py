@@ -1,0 +1,110 @@
+"""Tests for trace replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FifoScheduler
+from repro.fabric import Network, NvmeOfInitiator, NvmeOfTarget
+from repro.ssd import NullDevice
+from repro.ssd.commands import IoOp
+from repro.workloads import ReplayWorker, TraceRecord, TraceRecorder
+
+
+def make_session(sim):
+    network = Network(sim)
+    target = NvmeOfTarget(sim, network, "j", {"s": NullDevice(sim)}, FifoScheduler)
+    return NvmeOfInitiator(sim, network, "c").connect("t", target, "s")
+
+
+def make_trace(n=10, gap_us=100.0):
+    return [
+        TraceRecord(
+            t_submit_us=i * gap_us,
+            t_complete_us=i * gap_us + 50.0,
+            tenant_id="orig",
+            op="read" if i % 2 == 0 else "write",
+            lba=i * 8,
+            npages=8,
+            e2e_latency_us=50.0,
+            device_latency_us=30.0,
+        )
+        for i in range(n)
+    ]
+
+
+class TestReplayWorker:
+    def test_timed_replay_preserves_spacing(self, sim):
+        session = make_session(sim)
+        worker = ReplayWorker(session, make_trace(5, gap_us=1000.0), mode="timed")
+        done = []
+        worker.start(on_done=lambda: done.append(sim.now))
+        sim.run()
+        assert worker.completed == 5
+        # Last submission at 4 x 1000us after start.
+        assert done[0] >= 4000.0
+
+    def test_speedup_compresses_the_trace(self, sim):
+        session = make_session(sim)
+        worker = ReplayWorker(session, make_trace(5, gap_us=1000.0), mode="timed", speed=10.0)
+        done = []
+        worker.start(on_done=lambda: done.append(sim.now))
+        sim.run()
+        assert done[0] < 1000.0
+
+    def test_closed_replay_respects_queue_depth(self, sim):
+        session = make_session(sim)
+        worker = ReplayWorker(session, make_trace(20), mode="closed", queue_depth=2)
+        worker.start()
+        assert worker.submitted == 2
+        sim.run()
+        assert worker.completed == 20
+
+    def test_lba_offset_applied(self, sim):
+        session = make_session(sim)
+        seen = []
+        original_submit = session.submit
+
+        def spy(op, lba, npages, **kwargs):
+            seen.append(lba)
+            return original_submit(op, lba, npages, **kwargs)
+
+        session.submit = spy
+        worker = ReplayWorker(session, make_trace(3), lba_offset=1000)
+        worker.start()
+        sim.run()
+        assert all(lba >= 1000 for lba in seen)
+
+    def test_results_summary(self, sim):
+        session = make_session(sim)
+        worker = ReplayWorker(session, make_trace(8), mode="closed")
+        worker.start()
+        sim.run()
+        results = worker.results()
+        assert results["completed"] == 8
+        assert results["latency"]["count"] == 8
+
+    def test_invalid_configuration_rejected(self, sim):
+        session = make_session(sim)
+        with pytest.raises(ValueError):
+            ReplayWorker(session, make_trace(1), mode="warp")
+        with pytest.raises(ValueError):
+            ReplayWorker(session, make_trace(1), speed=0.0)
+        with pytest.raises(ValueError):
+            ReplayWorker(session, [])
+
+    def test_record_then_replay_round_trip(self, sim):
+        """Capture a live run, then replay the trace: identical op mix."""
+        session = make_session(sim)
+        recorder = TraceRecorder()
+        for index in range(12):
+            session.submit(
+                IoOp.READ if index % 3 else IoOp.WRITE, index, 1,
+                on_complete=recorder.observe,
+            )
+        sim.run()
+        replay_session = make_session(sim)
+        worker = ReplayWorker(replay_session, recorder.records, mode="closed")
+        worker.start()
+        sim.run()
+        assert worker.completed == 12

@@ -1,0 +1,118 @@
+"""Tests for the YCSB generator and Zipfian sampler."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads import YCSB_WORKLOADS, YcsbOp, YcsbSpec, YcsbWorkloadGenerator, ZipfianGenerator
+
+
+class TestZipfian:
+    def test_ranks_in_range(self):
+        zipf = ZipfianGenerator(1000, rng=random.Random(0), scrambled=False)
+        for _ in range(2000):
+            assert 0 <= zipf.next() < 1000
+
+    def test_unscrambled_is_head_heavy(self):
+        zipf = ZipfianGenerator(10_000, rng=random.Random(1), scrambled=False)
+        counts = Counter(zipf.next() for _ in range(20_000))
+        top10 = sum(counts[i] for i in range(10))
+        # Zipf(0.99): the 10 hottest of 10k items draw a large share.
+        assert top10 > 0.2 * 20_000
+
+    def test_rank_zero_most_popular(self):
+        zipf = ZipfianGenerator(1000, rng=random.Random(2), scrambled=False)
+        counts = Counter(zipf.next_rank() for _ in range(20_000))
+        assert counts[0] == max(counts.values())
+
+    def test_scrambling_spreads_hot_keys(self):
+        zipf = ZipfianGenerator(10_000, rng=random.Random(3), scrambled=True)
+        counts = Counter(zipf.next() for _ in range(20_000))
+        hottest = counts.most_common(1)[0][0]
+        # The hottest key is (almost surely) not rank 0 after scrambling.
+        assert hottest != 0
+
+    def test_determinism(self):
+        a = ZipfianGenerator(1000, rng=random.Random(7))
+        b = ZipfianGenerator(1000, rng=random.Random(7))
+        assert [a.next() for _ in range(50)] == [b.next() for _ in range(50)]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+
+
+class TestWorkloadSpecs:
+    def test_core_workloads_present(self):
+        assert set(YCSB_WORKLOADS) == {"A", "B", "C", "D", "E", "F"}
+
+    def test_mixes_sum_to_one(self):
+        for spec in YCSB_WORKLOADS.values():
+            total = spec.read + spec.update + spec.insert + spec.rmw + spec.scan
+            assert abs(total - 1.0) < 1e-9
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbSpec("X", read=0.5, update=0.4)
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbSpec("X", read=1.0, distribution="uniform")
+
+
+class TestWorkloadGenerator:
+    def _mix(self, name, n=20_000):
+        generator = YcsbWorkloadGenerator(
+            YCSB_WORKLOADS[name], record_count=10_000, rng=random.Random(5)
+        )
+        return Counter(generator.next_op()[0] for _ in range(n))
+
+    def test_workload_a_mix(self):
+        counts = self._mix("A")
+        assert abs(counts[YcsbOp.READ] / 20_000 - 0.5) < 0.02
+        assert abs(counts[YcsbOp.UPDATE] / 20_000 - 0.5) < 0.02
+
+    def test_workload_b_mix(self):
+        counts = self._mix("B")
+        assert abs(counts[YcsbOp.READ] / 20_000 - 0.95) < 0.01
+
+    def test_workload_c_read_only(self):
+        counts = self._mix("C")
+        assert counts[YcsbOp.READ] == 20_000
+
+    def test_workload_d_inserts_advance_keyspace(self):
+        generator = YcsbWorkloadGenerator(
+            YCSB_WORKLOADS["D"], record_count=1000, rng=random.Random(6)
+        )
+        inserted = [key for op, key in (generator.next_op() for _ in range(5000)) if op is YcsbOp.INSERT]
+        assert inserted == sorted(inserted)
+        assert inserted[0] == 1000
+
+    def test_workload_d_reads_skew_recent(self):
+        generator = YcsbWorkloadGenerator(
+            YCSB_WORKLOADS["D"], record_count=10_000, rng=random.Random(7)
+        )
+        reads = [key for op, key in (generator.next_op() for _ in range(20_000)) if op is YcsbOp.READ]
+        recent = sum(1 for key in reads if key > 9000)
+        assert recent > len(reads) * 0.5
+
+    def test_workload_f_has_rmw(self):
+        counts = self._mix("F")
+        assert counts[YcsbOp.READ_MODIFY_WRITE] > 0.45 * 20_000
+
+    def test_keys_in_range(self):
+        generator = YcsbWorkloadGenerator(
+            YCSB_WORKLOADS["A"], record_count=500, rng=random.Random(8)
+        )
+        for _ in range(2000):
+            op, key = generator.next_op()
+            assert 0 <= key < 500
+
+    def test_invalid_record_count_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbWorkloadGenerator(YCSB_WORKLOADS["A"], record_count=0, rng=random.Random(0))
