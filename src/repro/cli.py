@@ -43,6 +43,17 @@ EXPERIMENTS: Dict[str, Tuple[str, dict]] = {
 }
 
 
+def _resolve_experiment(name: str) -> Optional[str]:
+    """Accept either the short key (``fig09``) or the driver module's
+    basename (``fig09_dynamic``)."""
+    if name in EXPERIMENTS:
+        return name
+    for key, (module_path, _) in EXPERIMENTS.items():
+        if module_path.rsplit(".", 1)[-1] == name:
+            return key
+    return None
+
+
 def _load(name: str):
     import importlib
 
@@ -58,13 +69,39 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    if args.experiment not in EXPERIMENTS:
+    name = _resolve_experiment(args.experiment)
+    if name is None:
         print(f"unknown experiment {args.experiment!r}; try: python -m repro list", file=sys.stderr)
         return 2
-    module, quick_kwargs = _load(args.experiment)
+    module, quick_kwargs = _load(name)
     kwargs = quick_kwargs if args.quick else {}
-    results = module.run(**kwargs)
-    print(module.summarize(results))
+    if not args.trace and not args.stats:
+        results = module.run(**kwargs)
+        print(module.summarize(results))
+        return 0
+    from repro import obs
+
+    if args.trace:
+        # Fail fast on an unwritable journal path instead of after a
+        # potentially minutes-long experiment.
+        try:
+            open(args.trace, "w", encoding="utf-8").close()
+        except OSError as exc:
+            print(f"cannot open trace journal {args.trace!r}: {exc}", file=sys.stderr)
+            return 2
+    with obs.capture(trace_path=args.trace) as session:
+        results = module.run(**kwargs)
+        print(module.summarize(results))
+        if args.stats:
+            print()
+            print(session.stats_report())
+    if args.trace:
+        print(
+            f"\ntrace journal: {args.trace} "
+            f"({session.trace_events_emitted} events); summarize with "
+            f"`python -m repro.obs.report {args.trace}`",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -197,6 +234,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", help="e.g. fig07, table1 (see `list`)")
     run_parser.add_argument(
         "--quick", action="store_true", help="scaled-down measurement windows"
+    )
+    run_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="stream a JSONL trace journal of simulation events to PATH",
+    )
+    run_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print registry counters and kernel probe stats after the run",
     )
     run_parser.set_defaults(fn=cmd_run)
 

@@ -45,6 +45,9 @@ class LatencyMonitor:
         self.threshold = (params.thresh_min_us + params.thresh_max_us) / 2.0
         self.state = CongestionState.UNDERUTILIZED
         self.signals = {state: 0 for state in CongestionState}
+        #: State changes observed (observability; transitions are also
+        #: journalled by the switch when tracing is enabled).
+        self.transitions = 0
 
     @property
     def ewma_latency_us(self) -> float:
@@ -72,9 +75,23 @@ class LatencyMonitor:
             self.threshold -= params.alpha_t * (self.threshold - ewma)
             state = CongestionState.UNDERUTILIZED
         self.threshold = min(max(self.threshold, params.thresh_min_us), params.thresh_max_us)
+        if state is not self.state:
+            self.transitions += 1
         self.state = state
         self.signals[state] += 1
         return state
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose this monitor's live state as pull gauges."""
+        registry.gauge(f"{prefix}.ewma_us", lambda: self.ewma.value)
+        registry.gauge(f"{prefix}.threshold_us", lambda: self.threshold)
+        registry.gauge(f"{prefix}.state", lambda: self.state.name)
+        registry.gauge(f"{prefix}.transitions", lambda: self.transitions)
+        for state in CongestionState:
+            registry.gauge(
+                f"{prefix}.signals.{state.name.lower()}",
+                lambda state=state: self.signals[state],
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

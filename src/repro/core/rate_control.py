@@ -65,6 +65,10 @@ class DualTokenBucket:
         self.read_tokens = self.max_tokens
         self.write_tokens = self.max_tokens
         self._last_update_us = 0.0
+        # Observability counters: how often the bucket gated admission
+        # and how often the overload path discarded buffered tokens.
+        self.denials = 0
+        self.discards = 0
 
     def update(self, now_us: float, target_rate: float, write_cost: float) -> None:
         """Generate tokens since the last update and split them by cost."""
@@ -90,7 +94,10 @@ class DualTokenBucket:
         return self.read_tokens if op.is_read else self.write_tokens
 
     def can_consume(self, op: IoOp, nbytes: int) -> bool:
-        return self.tokens_for(op) >= nbytes
+        if self.tokens_for(op) >= nbytes:
+            return True
+        self.denials += 1
+        return False
 
     def consume(self, op: IoOp, nbytes: int) -> None:
         if not self.can_consume(op, nbytes):
@@ -104,6 +111,7 @@ class DualTokenBucket:
         """Drop buffered tokens (overloaded state: avoid a burst)."""
         self.read_tokens = 0.0
         self.write_tokens = 0.0
+        self.discards += 1
 
 
 class RateController:
@@ -177,3 +185,11 @@ class RateController:
 
     def refresh_bucket(self, now_us: float, write_cost: float) -> None:
         self.bucket.update(now_us, self.target_rate, write_cost)
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose the pacing engine's live state as pull gauges."""
+        registry.gauge(f"{prefix}.target_bytes_per_us", lambda: self.target_rate)
+        registry.gauge(f"{prefix}.read_tokens", lambda: self.bucket.read_tokens)
+        registry.gauge(f"{prefix}.write_tokens", lambda: self.bucket.write_tokens)
+        registry.gauge(f"{prefix}.bucket_denials", lambda: self.bucket.denials)
+        registry.gauge(f"{prefix}.bucket_discards", lambda: self.bucket.discards)

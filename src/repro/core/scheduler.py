@@ -126,6 +126,9 @@ class DrrSlotScheduler:
         self.tenants: Dict[str, GimbalTenant] = {}
         self.active: Deque[GimbalTenant] = deque()
         self.slot_limit = params.slot_threshold
+        #: Times a tenant was parked for running out of virtual slots
+        #: (observability: how often slots, not tokens, are the limiter).
+        self.deferrals = 0
 
     # ------------------------------------------------------------------
     # Tenant lifecycle
@@ -213,6 +216,7 @@ class DrrSlotScheduler:
                 active.popleft()
                 tenant.in_active = False
                 tenant.deferred = True
+                self.deferrals += 1
                 continue
             tenant.pop()
             bucket.consume(request.op, token_bytes)

@@ -30,6 +30,7 @@ from repro.core.scheduler import DrrSlotScheduler, GimbalTenant
 from repro.core.virtual_slot import VirtualSlot
 from repro.core.write_cost import WriteCostEstimator
 from repro.fabric.request import FabricRequest
+from repro.obs.trace import TraceType
 from repro.sim.units import MBPS
 from repro.ssd.commands import IoOp
 
@@ -56,6 +57,15 @@ class GimbalScheduler(StorageScheduler):
         self.drr = DrrSlotScheduler(self.params)
         self._inflight_slots: Dict[int, tuple] = {}
         self._refill_wakeup = None
+        # Tracing state: last observed congestion state and (rounded)
+        # threshold per monitor, so the journal records transitions and
+        # moves rather than one event per completion.
+        self._traced_state: Dict[IoOp, CongestionState] = {
+            op: monitor.state for op, monitor in self.monitors.items()
+        }
+        self._traced_thresh: Dict[IoOp, int] = {
+            op: int(monitor.threshold) for op, monitor in self.monitors.items()
+        }
 
     # ------------------------------------------------------------------
     # StorageScheduler interface
@@ -89,6 +99,9 @@ class GimbalScheduler(StorageScheduler):
             # Trims are metadata-only: they carry no congestion signal.
             latency = request.device_latency_us
             state = self.monitors[request.op].observe(latency)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                self._trace_monitor(tracer, now, request.op, state)
             self.rate.on_completion(
                 now, request.op, request.size_bytes, state, self.congestion_state
             )
@@ -146,6 +159,15 @@ class GimbalScheduler(StorageScheduler):
             self._weighted_size, self.rate.bucket, self._submit
         )
         if outcome == "tokens":
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    TraceType.BUCKET_DENY,
+                    self.sim.now,
+                    self._component_name,
+                    io=op.name,
+                    deficit_bytes=token_deficit,
+                )
             self._schedule_refill_wakeup(op, token_deficit)
 
     def _schedule_refill_wakeup(self, op: IoOp, token_deficit: float) -> None:
@@ -163,6 +185,15 @@ class GimbalScheduler(StorageScheduler):
 
     def _on_refill_wakeup(self) -> None:
         self._refill_wakeup = None
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                TraceType.BUCKET_REFILL,
+                self.sim.now,
+                self._component_name,
+                read_tokens=self.rate.bucket.read_tokens,
+                write_tokens=self.rate.bucket.write_tokens,
+            )
         self._pump()
 
     @property
@@ -172,3 +203,56 @@ class GimbalScheduler(StorageScheduler):
             (monitor.state for monitor in self.monitors.values()),
             key=lambda state: state.value,
         )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def _component_name(self) -> str:
+        pipeline = self.pipeline
+        return f"switch.{pipeline.name}" if pipeline is not None else "switch"
+
+    def _trace_monitor(self, tracer, now: float, op: IoOp, state: CongestionState) -> None:
+        """Journal state transitions and threshold moves for one monitor."""
+        monitor = self.monitors[op]
+        previous = self._traced_state[op]
+        if state is not previous:
+            self._traced_state[op] = state
+            tracer.emit(
+                TraceType.CONGESTION,
+                now,
+                self._component_name,
+                io=op.name,
+                **{"from": previous.name},
+                to=state.name,
+                ewma_us=monitor.ewma_latency_us,
+                threshold_us=monitor.threshold,
+            )
+        threshold = int(monitor.threshold)
+        if threshold != self._traced_thresh[op]:
+            self._traced_thresh[op] = threshold
+            tracer.emit(
+                TraceType.THRESHOLD,
+                now,
+                self._component_name,
+                io=op.name,
+                threshold_us=monitor.threshold,
+                ewma_us=monitor.ewma_latency_us,
+            )
+
+    def register_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Expose the switch's live state as pull gauges."""
+        prefix = prefix or self._component_name
+        registry.gauge(f"{prefix}.target_rate_mbps", lambda: self.rate.target_rate / MBPS)
+        registry.gauge(f"{prefix}.write_cost", lambda: self.write_cost.cost)
+        registry.gauge(f"{prefix}.inflight", lambda: len(self._inflight_slots))
+        registry.gauge(f"{prefix}.active_tenants", lambda: len(self.drr.active))
+        registry.gauge(f"{prefix}.slot_limit", lambda: self.drr.slot_limit)
+        registry.gauge(f"{prefix}.slot_deferrals", lambda: self.drr.deferrals)
+        registry.gauge(
+            f"{prefix}.pending",
+            lambda: sum(tenant.pending for tenant in self.drr.tenants.values()),
+        )
+        for op, monitor in self.monitors.items():
+            monitor.register_metrics(registry, f"{prefix}.{op.name.lower()}")
+        self.rate.register_metrics(registry, f"{prefix}.rate")

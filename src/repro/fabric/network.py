@@ -87,3 +87,14 @@ class Network:
         arrival = tx_done + self.propagation_us
         self.sim.at(arrival, deliver, *args)
         return arrival
+
+    def register_metrics(self, registry, prefix: str = "net") -> None:
+        """Expose per-port link counters for every port created so far."""
+        for name, port in self._ports.items():
+            registry.gauge(
+                f"{prefix}.{name}.bytes_sent", lambda port=port: port.bytes_sent
+            )
+            registry.gauge(
+                f"{prefix}.{name}.messages_sent",
+                lambda port=port: port.messages_sent,
+            )

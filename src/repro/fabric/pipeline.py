@@ -17,12 +17,13 @@ the five-step NVMe-over-RDMA flow:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.fabric.network import Network, NetworkPort
 from repro.fabric.request import RESPONSE_CAPSULE_BYTES, FabricRequest
 from repro.fabric.smartnic import CpuCostModel, NicCore
 from repro.nvme.namespace import Namespace
+from repro.obs.trace import TraceType
 from repro.sim.engine import Simulator
 from repro.ssd.commands import DeviceCommand
 
@@ -74,6 +75,9 @@ class SsdPipeline:
         self._reply_routes: Dict[int, Callable[[FabricRequest], None]] = {}
         self._client_ports: Dict[str, NetworkPort] = {}
         self._namespaces: Dict[str, Namespace] = {}
+        # Last credit grant journalled per tenant: the CREDIT trace
+        # event fires on change, not on every response.
+        self._traced_credit: Dict[str, int] = {}
         scheduler.attach(self)
 
     # ------------------------------------------------------------------
@@ -108,6 +112,16 @@ class SsdPipeline:
         """Step 1-2: capsule landed; run submission-path processing."""
         request.t_target_arrival = self.sim.now
         self._reply_routes[request.request_id] = reply
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                TraceType.IO_SUBMIT,
+                self.sim.now,
+                self.name,
+                tenant=request.tenant_id,
+                op=request.op.name,
+                bytes=request.size_bytes,
+            )
         cost = (
             self.cpu_model.submit_fixed_us
             + self.scheduler.submit_overhead_us
@@ -141,6 +155,16 @@ class SsdPipeline:
     def device_submit(self, request: FabricRequest) -> None:
         """Step 3: the scheduler admits this IO to the SSD now."""
         request.t_device_submit = self.sim.now
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                TraceType.IO_DISPATCH,
+                self.sim.now,
+                self.name,
+                tenant=request.tenant_id,
+                op=request.op.name,
+                queued_us=self.sim.now - request.t_sched_enqueue,
+            )
         namespace = self._namespaces.get(request.tenant_id)
         if namespace is not None:
             lpn = namespace.translate(request.lba, request.npages)
@@ -153,6 +177,17 @@ class SsdPipeline:
         """Step 4: completion-path processing, then the response."""
         request: FabricRequest = command.tag
         request.t_device_complete = self.sim.now
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                TraceType.IO_COMPLETE,
+                self.sim.now,
+                self.name,
+                tenant=request.tenant_id,
+                op=request.op.name,
+                bytes=request.size_bytes,
+                device_lat_us=request.device_latency_us,
+            )
         self.scheduler.notify_completion(request)
         cost = self.cpu_model.complete_fixed_us + self.scheduler.complete_overhead_us
         if self.real_device:
@@ -166,6 +201,18 @@ class SsdPipeline:
         """Step 5: RDMA_WRITE read data + response capsule with credits."""
         request.credit_grant = self.scheduler.credit_for(request.tenant_id)
         request.virtual_view = self.scheduler.virtual_view()
+        tracer = self.sim.tracer
+        if tracer is not None and request.credit_grant != self._traced_credit.get(
+            request.tenant_id
+        ):
+            self._traced_credit[request.tenant_id] = request.credit_grant
+            tracer.emit(
+                TraceType.CREDIT,
+                self.sim.now,
+                self.name,
+                tenant=request.tenant_id,
+                credit=request.credit_grant,
+            )
         if request.op.is_read:
             self.stats.reads += 1
             self.stats.read_bytes += request.size_bytes
@@ -181,6 +228,22 @@ class SsdPipeline:
         per_tenant[request.tenant_id] = per_tenant.get(request.tenant_id, 0) + request.size_bytes
         reply = self._reply_routes.pop(request.request_id)
         self.network.send(self.port, wire_bytes, reply, request)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Expose throughput counters; cascades to the scheduler."""
+        prefix = prefix or f"pipeline.{self.name}"
+        registry.gauge(f"{prefix}.reads", lambda: self.stats.reads)
+        registry.gauge(f"{prefix}.writes", lambda: self.stats.writes)
+        registry.gauge(f"{prefix}.trims", lambda: self.stats.trims)
+        registry.gauge(f"{prefix}.read_bytes", lambda: self.stats.read_bytes)
+        registry.gauge(f"{prefix}.write_bytes", lambda: self.stats.write_bytes)
+        registry.gauge(f"{prefix}.inflight_replies", lambda: len(self._reply_routes))
+        register = getattr(self.scheduler, "register_metrics", None)
+        if register is not None:
+            register(registry)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SsdPipeline({self.name}, scheduler={self.scheduler.name})"

@@ -119,5 +119,18 @@ class NicCore:
             if count
         }
 
+    def register_metrics(self, registry, prefix: str = None) -> None:
+        """Expose core occupancy as pull gauges."""
+        prefix = prefix or f"core.{self.name}"
+        registry.gauge(f"{prefix}.busy_us", lambda: self.busy_us_total)
+        registry.gauge(
+            f"{prefix}.bookings", lambda: sum(self.events_by_tag.values())
+        )
+        for tag in ("submit", "datapath", "complete"):
+            registry.gauge(
+                f"{prefix}.busy_us.{tag}",
+                lambda tag=tag: self.us_by_tag.get(tag, 0.0),
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NicCore({self.name}, busy={self.busy_us_total:.0f}us)"

@@ -33,6 +33,7 @@ from repro.fabric import (
 )
 from repro.fabric.smartnic import CpuCostModel
 from repro.nvme import Namespace
+from repro.obs import current_session
 from repro.sim import RngRegistry, Simulator
 from repro.ssd import (
     NullDevice,
@@ -86,6 +87,11 @@ class Testbed:
     def __init__(self, config: TestbedConfig):
         self.config = config
         self.sim = Simulator()
+        # Experiment drivers build testbeds internally, so observability
+        # arrives ambiently: the Simulator constructor already hooked
+        # itself to the active ``repro.obs.capture()`` session (if any);
+        # the testbed's part is registering component metrics below.
+        session = current_session()
         self.rngs = RngRegistry(config.seed)
         self.network = Network(self.sim)
         self.devices: Dict[str, object] = {}
@@ -117,6 +123,14 @@ class Testbed:
         self.workers: List[FioWorker] = []
         self._region_cursor: Dict[str, int] = {name: 0 for name in self.devices}
         self._namespace_count = 0
+        if session is not None:
+            for device in self.devices.values():
+                session.register(device)
+            for core in self.target.cores:
+                session.register(core)
+            for pipeline in self.target.pipelines.values():
+                session.register(pipeline)
+            session.register(self.network)
 
     # ------------------------------------------------------------------
     # Scheme wiring

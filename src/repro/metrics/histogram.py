@@ -94,7 +94,16 @@ class LatencyHistogram:
 
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold another histogram (with identical configuration) into this one."""
-        if other._num_buckets != self._num_buckets or other.min_value != self.min_value:
+        if (
+            other.min_value != self.min_value
+            or other.max_value != self.max_value
+            or other._growth != self._growth
+            or other._num_buckets != self._num_buckets
+        ):
+            # Bucket count alone is not enough: e.g. (min=1, max=1e7,
+            # growth=1.02) and a histogram with a different max/growth
+            # pair can coincide in _num_buckets while binning the same
+            # value into different buckets.
             raise ValueError("cannot merge histograms with different configurations")
         for index, bucket_count in enumerate(other._counts):
             self._counts[index] += bucket_count

@@ -91,12 +91,26 @@ class IntervalSeries:
         self._lasts[index] = value
 
     def series(self) -> List[tuple]:
-        """Sorted (window_start_us, aggregate) pairs for non-empty windows."""
+        """Sorted (window_start_us, aggregate) pairs.
+
+        In ``sum`` mode every window between the first and the last
+        observation is reported, with interior gaps emitted as 0.0 --
+        an idle period genuinely is zero bytes per window, and timeline
+        plots (Figures 9/17/18) must show it as such rather than
+        splicing the gap out.  ``mean`` and ``last`` windows have no
+        meaningful zero, so those modes still skip empty windows.
+        """
+        if not self._sums:
+            return []
+        if self.mode == "sum":
+            indices = sorted(self._sums)
+            return [
+                (index * self.window_us, self._sums.get(index, 0.0))
+                for index in range(indices[0], indices[-1] + 1)
+            ]
         points = []
         for index in sorted(self._sums):
-            if self.mode == "sum":
-                value = self._sums[index]
-            elif self.mode == "mean":
+            if self.mode == "mean":
                 value = self._sums[index] / self._counts[index]
             else:
                 value = self._lasts[index]

@@ -31,7 +31,7 @@ class SimulationError(RuntimeError):
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule` so it can be cancelled."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -39,10 +39,19 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from running.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # Keep the owning simulator's live-event counter exact so
+        # ``Simulator.pending`` stays O(1); ``_sim`` is already None
+        # when the event has fired (cancelling then is a no-op).
+        sim, self._sim = self._sim, None
+        if sim is not None:
+            sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -81,6 +90,16 @@ class Waiter:
             process, self._process = self._process, None
             process._resume(value)
 
+    def detach(self, process: "Process") -> None:
+        """Drop ``process``'s parked-waiter back-reference, if it is ours.
+
+        Called by :meth:`Process.stop` so a stopped process does not
+        linger as this waiter's resume target (and the waiter does not
+        keep the dead process alive).
+        """
+        if self._process is process:
+            self._process = None
+
 
 def all_of(sim: "Simulator", waiters: list) -> Waiter:
     """A waiter that triggers once every input waiter has triggered.
@@ -108,44 +127,58 @@ def any_of(sim: "Simulator", waiters: list) -> Waiter:
     """A waiter that triggers when the first input triggers.
 
     The resume value is ``(index, value)`` of the winner; later
-    triggers of the other inputs are ignored.
+    triggers of the other inputs are ignored.  The losing relays are
+    stopped as soon as the winner fires, so inputs that never trigger
+    do not keep parked relay processes alive for the rest of the run.
     """
     if not waiters:
         raise SimulationError("any_of needs at least one waiter")
     combined = Waiter()
+    relays: list = []
+
+    def chain(value, index):
+        if combined.triggered:
+            return
+        combined.trigger((index, value))
+        for loser, relay in enumerate(relays):
+            if loser != index and relay is not None:
+                relay.stop()
 
     for index, waiter in enumerate(waiters):
-        def chain(value, index=index):
-            if not combined.triggered:
-                combined.trigger((index, value))
-
-        _attach(sim, waiter, chain)
+        relays.append(
+            _attach(sim, waiter, lambda value, index=index: chain(value, index))
+        )
     return combined
 
 
-def _attach(sim: "Simulator", waiter: Waiter, callback) -> None:
-    """Run ``callback(value)`` when ``waiter`` triggers."""
+def _attach(sim: "Simulator", waiter: Waiter, callback) -> Optional["Process"]:
+    """Run ``callback(value)`` when ``waiter`` triggers.
+
+    Returns the relay process parked on ``waiter``, or None when the
+    waiter had already triggered (the callback is simply scheduled).
+    """
     if waiter.triggered:
         sim.schedule(0.0, callback, waiter._value)
-        return
+        return None
 
     def relay():
         value = yield waiter
         callback(value)
 
-    Process(sim, relay())
+    return Process(sim, relay())
 
 
 class Process:
     """Drives a generator as a cooperative simulation process."""
 
-    __slots__ = ("sim", "_gen", "alive", "_pending_event")
+    __slots__ = ("sim", "_gen", "alive", "_pending_event", "_waiting_on")
 
     def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any]):
         self.sim = sim
         self._gen = gen
         self.alive = True
         self._pending_event: Optional[Event] = None
+        self._waiting_on: Optional[Waiter] = None
         self._resume(None)
 
     def stop(self) -> None:
@@ -156,12 +189,16 @@ class Process:
         if self._pending_event is not None:
             self._pending_event.cancel()
             self._pending_event = None
+        if self._waiting_on is not None:
+            self._waiting_on.detach(self)
+            self._waiting_on = None
         self._gen.close()
 
     def _resume(self, value: Any) -> None:
         if not self.alive:
             return
         self._pending_event = None
+        self._waiting_on = None
         try:
             yielded = self._gen.send(value)
         except StopIteration:
@@ -174,6 +211,7 @@ class Process:
                 self._pending_event = self.sim.schedule(0.0, self._resume, yielded._value)
             else:
                 yielded._process = self
+                self._waiting_on = yielded
         elif isinstance(yielded, (int, float)):
             self._pending_event = self.sim.schedule(float(yielded), self._resume, None)
         else:
@@ -189,6 +227,19 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq = 0
         self._running = False
+        self._live = 0
+        #: Optional observability hooks (see :mod:`repro.obs`).  Both
+        #: default to None and every call site guards on that, so a
+        #: simulator without observers pays only a None check.
+        self.tracer = None
+        self.probe = None
+        # Imported here, not at module top, so the kernel has no hard
+        # dependency on the observability layer.
+        from repro.obs.session import current_session
+
+        session = current_session()
+        if session is not None:
+            session.attach_simulator(self)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -205,7 +256,12 @@ class Simulator:
             raise SimulationError(f"Cannot schedule at t={time_us} before now={self.now}")
         self._seq += 1
         event = Event(time_us, self._seq, fn, args)
+        event._sim = self
+        self._live += 1
         heapq.heappush(self._heap, event)
+        probe = self.probe
+        if probe is not None and len(self._heap) > probe.heap_high_water:
+            probe.heap_high_water = len(self._heap)
         return event
 
     def process(self, gen: Generator[Any, Any, Any]) -> Process:
@@ -220,15 +276,24 @@ class Simulator:
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Execute the next pending event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            event.fn(*event.args)
-            return True
-        return False
+        """Execute the next pending event.  Returns False if none remain.
+
+        Like :meth:`run`, stepping is not reentrant: calling it from
+        inside an executing event callback would corrupt the loop.
+        """
+        if self._running:
+            raise SimulationError("Simulator.step() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._fire(event)
+                return True
+            return False
+        finally:
+            self._running = False
 
     def run(self, until_us: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the heap drains, ``until_us`` is reached, or ``max_events`` fire.
@@ -242,6 +307,9 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         fired = 0
+        probe = self.probe
+        if probe is not None:
+            probe.begin_run(self.now)
         try:
             while self._heap:
                 if max_events is not None and fired >= max_events:
@@ -253,19 +321,33 @@ class Simulator:
                 if until_us is not None and event.time > until_us:
                     break
                 heapq.heappop(self._heap)
-                self.now = event.time
-                event.fn(*event.args)
+                self._fire(event)
                 fired += 1
+            # Advance to the deadline here (not after the finally) so a
+            # callback exception leaves the clock at the failing event
+            # while the probe still accounts the full window on success.
+            if until_us is not None and self.now < until_us:
+                self.now = until_us
         finally:
             self._running = False
-        if until_us is not None and self.now < until_us:
-            self.now = until_us
+            if probe is not None:
+                probe.end_run(self.now, fired)
         return self.now
+
+    def _fire(self, event: Event) -> None:
+        """Advance the clock to ``event`` and execute its callback."""
+        event._sim = None
+        self._live -= 1
+        self.now = event.time
+        probe = self.probe
+        if probe is not None:
+            probe.count_fire(event.fn)
+        event.fn(*event.args)
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still queued.  O(1)."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now:.3f}us, pending={self.pending})"

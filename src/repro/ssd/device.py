@@ -26,6 +26,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional, Tuple
 
+from repro.obs.trace import TraceType
 from repro.sim.engine import Simulator
 from repro.ssd.commands import DeviceCommand, IoOp
 from repro.ssd.ftl import Ftl
@@ -143,6 +144,25 @@ class SsdDevice:
     def write_amplification(self) -> float:
         return self.ftl.stats.write_amplification
 
+    def register_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Expose device, buffer and FTL state as pull gauges."""
+        prefix = prefix or f"ssd.{self.name}"
+        # Gauges close over self (not self.stats): reset_time_state
+        # replaces the stats object and the gauges must follow it.
+        registry.gauge(f"{prefix}.read_commands", lambda: self.stats.read_commands)
+        registry.gauge(f"{prefix}.write_commands", lambda: self.stats.write_commands)
+        registry.gauge(f"{prefix}.trim_commands", lambda: self.stats.trim_commands)
+        registry.gauge(f"{prefix}.read_bytes", lambda: self.stats.read_bytes)
+        registry.gauge(f"{prefix}.write_bytes", lambda: self.stats.write_bytes)
+        registry.gauge(f"{prefix}.buffer_read_hits", lambda: self.stats.buffer_read_hits)
+        registry.gauge(f"{prefix}.outstanding", lambda: self.outstanding)
+        registry.gauge(f"{prefix}.write_amplification", lambda: self.write_amplification)
+        registry.gauge(f"{prefix}.buffer_occupied_pages", lambda: self.buffer.occupied)
+        registry.gauge(f"{prefix}.gc_debt_us", lambda: sum(self._gc_debt_us))
+        registry.gauge(f"{prefix}.ftl.host_programs", lambda: self.ftl.stats.host_programs)
+        registry.gauge(f"{prefix}.ftl.gc_programs", lambda: self.ftl.stats.gc_programs)
+        registry.gauge(f"{prefix}.ftl.erases", lambda: self.ftl.stats.erases)
+
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
@@ -198,11 +218,35 @@ class SsdDevice:
             ppn, work = self.ftl.write_page(lpn)
             channel = self.geometry.channel_of_page(ppn)
             if not work.empty:
-                self._gc_debt_us[channel] += (
+                gc_busy_us = (
                     work.relocation_reads * profile.t_read_xfer_us
                     + work.relocation_programs * profile.t_prog_us
                     + work.erases * profile.t_erase_us
                 )
+                self._gc_debt_us[channel] += gc_busy_us
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    # The FTL collects synchronously and the device
+                    # charges the busy time as channel debt, so GC
+                    # "starts" at the admit and logically "ends" once
+                    # the charged debt has drained.
+                    tracer.emit(
+                        TraceType.GC_START,
+                        self.sim.now,
+                        f"ssd.{self.name}",
+                        channel=channel,
+                        relocation_reads=work.relocation_reads,
+                        relocation_programs=work.relocation_programs,
+                        erases=work.erases,
+                        busy_us=gc_busy_us,
+                    )
+                    tracer.emit(
+                        TraceType.GC_END,
+                        self.sim.now,
+                        f"ssd.{self.name}",
+                        channel=channel,
+                        drains_at_us=self.sim.now + self._gc_debt_us[channel],
+                    )
             channel_start = max(
                 admit_time, self._wr_horizon[channel], self._fg_horizon[channel]
             )
@@ -283,6 +327,13 @@ class NullDevice:
     @property
     def write_amplification(self) -> float:
         return 1.0
+
+    def register_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        prefix = prefix or f"ssd.{self.name}"
+        registry.gauge(f"{prefix}.read_commands", lambda: self.stats.read_commands)
+        registry.gauge(f"{prefix}.write_commands", lambda: self.stats.write_commands)
+        registry.gauge(f"{prefix}.trim_commands", lambda: self.stats.trim_commands)
+        registry.gauge(f"{prefix}.outstanding", lambda: self.outstanding)
 
     def reset_time_state(self) -> None:
         self.stats = DeviceStats()

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import CongestionState, GimbalParams, LatencyMonitor
 
@@ -134,3 +136,41 @@ class TestParams:
         from repro.core.config import P3600_PARAMS
 
         assert P3600_PARAMS.thresh_max_us == 3000.0
+
+
+class TestThresholdInvariants:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                      allow_infinity=False),
+            min_size=1,
+            max_size=500,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_threshold_stays_in_configured_band(self, latencies):
+        """Property: no latency sequence can push the dynamic threshold
+        outside [thresh_min_us, thresh_max_us] (Algorithm 1's clamp)."""
+        params = GimbalParams()
+        monitor = LatencyMonitor(params)
+        for latency in latencies:
+            monitor.observe(latency)
+            assert params.thresh_min_us <= monitor.threshold <= params.thresh_max_us
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e5, allow_nan=False,
+                      allow_infinity=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_signals_and_transitions_consistent(self, latencies):
+        """Property: signal counts total the observations and transition
+        count never exceeds observations."""
+        monitor = LatencyMonitor(GimbalParams())
+        for latency in latencies:
+            monitor.observe(latency)
+        assert sum(monitor.signals.values()) == len(latencies)
+        assert 0 <= monitor.transitions <= len(latencies)

@@ -122,3 +122,32 @@ class TestProperties:
         for pct in (0, 10, 50, 90, 100):
             value = histogram.percentile(pct)
             assert histogram.min <= value <= histogram.max
+
+
+class TestMergeConfiguration:
+    """Regression: merge() used to compare only bucket count and
+    min_value, so differently-shaped histograms whose bucket counts
+    coincided merged silently into nonsense percentiles."""
+
+    def test_merge_rejects_same_bucket_count_different_growth(self):
+        a = LatencyHistogram(min_value=1.0, max_value=1e7, growth=1.02)
+        # Squaring the growth and the range keeps log(max/min)/log(growth)
+        # identical, so the bucket counts collide while the bucket
+        # boundaries differ everywhere.
+        b = LatencyHistogram(min_value=1.0, max_value=1e14, growth=1.02**2)
+        assert a._num_buckets == b._num_buckets
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_rejects_different_max_value(self):
+        a = LatencyHistogram(min_value=1.0, max_value=1e7, growth=1.02)
+        b = LatencyHistogram(min_value=1.0, max_value=2e7, growth=1.02)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_accepts_identical_configuration(self):
+        a = LatencyHistogram(min_value=2.0, max_value=1e6, growth=1.05)
+        b = LatencyHistogram(min_value=2.0, max_value=1e6, growth=1.05)
+        b.record(10.0)
+        a.merge(b)
+        assert a.count == 1

@@ -93,3 +93,44 @@ class TestIntervalSeries:
             IntervalSeries(window_us=0.0)
         with pytest.raises(ValueError):
             IntervalSeries(window_us=1.0, mode="median")
+
+
+class TestInteriorGaps:
+    """Regression: sum-mode series used to splice out idle windows,
+    so an idle second silently vanished from bandwidth timelines."""
+
+    def test_sum_mode_emits_zero_for_interior_gap(self):
+        series = IntervalSeries(window_us=10.0, mode="sum")
+        series.record(5.0, 7.0)
+        series.record(35.0, 3.0)
+        assert series.series() == [
+            (0.0, 7.0),
+            (10.0, 0.0),
+            (20.0, 0.0),
+            (30.0, 3.0),
+        ]
+
+    def test_sum_mode_no_padding_outside_observed_range(self):
+        series = IntervalSeries(window_us=10.0, mode="sum")
+        series.record(25.0, 1.0)
+        assert series.series() == [(20.0, 1.0)]
+
+    def test_bandwidth_series_reads_zero_during_idle(self):
+        series = IntervalSeries(window_us=1.0 * SEC, mode="sum")
+        series.record(0.5 * SEC, 100 * MB)
+        series.record(2.5 * SEC, 100 * MB)
+        points = series.bandwidth_series_mbps()
+        assert [t for t, _ in points] == [0.0, 1.0 * SEC, 2.0 * SEC]
+        assert points[1][1] == 0.0
+
+    def test_mean_mode_still_skips_empty_windows(self):
+        series = IntervalSeries(window_us=10.0, mode="mean")
+        series.record(5.0, 4.0)
+        series.record(35.0, 8.0)
+        assert series.series() == [(0.0, 4.0), (30.0, 8.0)]
+
+    def test_last_mode_still_skips_empty_windows(self):
+        series = IntervalSeries(window_us=10.0, mode="last")
+        series.record(5.0, 4.0)
+        series.record(35.0, 8.0)
+        assert series.series() == [(0.0, 4.0), (30.0, 8.0)]

@@ -1,0 +1,117 @@
+"""Tests for observability sessions and testbed integration."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.harness import Testbed, TestbedConfig
+from repro.obs import current_session
+from repro.sim import Simulator
+from repro.workloads import FioSpec
+
+
+class TestSessionLifecycle:
+    def test_no_session_by_default(self):
+        assert current_session() is None
+
+    def test_capture_installs_and_restores(self):
+        with obs.capture() as session:
+            assert current_session() is session
+        assert current_session() is None
+
+    def test_capture_restores_on_error(self):
+        try:
+            with obs.capture():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_session() is None
+
+    def test_sessions_nest(self):
+        with obs.capture() as outer:
+            with obs.capture() as inner:
+                assert current_session() is inner
+            assert current_session() is outer
+
+    def test_stats_only_session_has_no_tracer(self):
+        with obs.capture() as session:
+            sim = Simulator()
+            session.attach_simulator(sim)
+            assert sim.tracer is None
+            assert sim.probe is session.probe
+            assert session.trace_events_emitted == 0
+
+    def test_in_memory_trace_session(self):
+        with obs.capture(trace=True) as session:
+            sim = Simulator()
+            session.attach_simulator(sim)
+            assert sim.tracer is session.tracer
+
+
+def tiny_testbed():
+    testbed = Testbed(TestbedConfig(scheme="gimbal", condition="fragmented", seed=7))
+    testbed.add_worker(
+        FioSpec("r0", io_pages=1, queue_depth=8, read_ratio=1.0), region_pages=512
+    )
+    testbed.add_worker(
+        FioSpec("w0", io_pages=1, queue_depth=8, read_ratio=0.0), region_pages=512
+    )
+    return testbed
+
+
+class TestTestbedIntegration:
+    def test_untraced_testbed_has_no_hooks(self):
+        testbed = tiny_testbed()
+        assert testbed.sim.tracer is None
+        assert testbed.sim.probe is None
+
+    def test_journal_contains_io_congestion_and_bucket_events(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with obs.capture(trace_path=path) as session:
+            testbed = tiny_testbed()
+            assert testbed.sim.tracer is session.tracer
+            testbed.run(warmup_us=2000.0, measure_us=10000.0)
+        counts = session.tracer.counts_by_type
+        assert counts["io_submit"] > 0
+        assert counts["io_dispatch"] > 0
+        assert counts["io_complete"] > 0
+        assert counts["congestion"] > 0
+        assert counts["bucket_deny"] > 0
+        events = obs.trace.read_jsonl(path)
+        assert len(events) == session.trace_events_emitted
+        assert {"t", "ev", "comp"} <= set(events[0])
+
+    def test_registry_collects_component_metrics(self):
+        with obs.capture() as session:
+            testbed = tiny_testbed()
+            testbed.run(warmup_us=2000.0, measure_us=8000.0)
+            snapshot = session.registry.snapshot()
+        assert snapshot["ssd.ssd0.write_commands"] > 0
+        assert snapshot["pipeline.jbof0/ssd0.reads"] > 0
+        assert snapshot["kernel.events_fired"] > 0
+        assert any(name.startswith("switch.") for name in snapshot)
+        assert any(name.startswith("core.") for name in snapshot)
+        assert any(name.startswith("net.") for name in snapshot)
+
+    def test_stats_report_renders(self):
+        with obs.capture(trace=True) as session:
+            testbed = tiny_testbed()
+            testbed.run(warmup_us=1000.0, measure_us=5000.0)
+            report = session.stats_report()
+        assert "run metrics" in report
+        assert "kernel probe" in report
+        assert "trace events" in report
+
+    def test_tracing_identical_simulation_outcome(self):
+        """Observability must not perturb the simulation itself."""
+
+        def total_bandwidth(traced):
+            if traced:
+                with obs.capture(trace=True):
+                    testbed = tiny_testbed()
+                    results = testbed.run(warmup_us=2000.0, measure_us=10000.0)
+            else:
+                testbed = tiny_testbed()
+                results = testbed.run(warmup_us=2000.0, measure_us=10000.0)
+            return results["total_bandwidth_mbps"]
+
+        assert total_bandwidth(True) == total_bandwidth(False)

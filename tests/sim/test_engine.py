@@ -297,3 +297,155 @@ class TestWaiterCombinators:
         sim.schedule(7.0, pending.trigger, "late")
         sim.run()
         assert got == [["early", "late"]]
+
+    def test_any_of_stops_loser_relays(self, sim):
+        """Regression: losing relay processes used to stay parked on
+        their waiters forever after the winner fired."""
+        from repro.sim import any_of
+
+        waiters = [sim.waiter() for _ in range(3)]
+        combined = any_of(sim, waiters)
+        sim.schedule(5.0, waiters[1].trigger, "fast")
+        sim.run()
+        assert combined.triggered
+        # The losing waiters no longer hold a parked relay...
+        assert waiters[0]._process is None
+        assert waiters[2]._process is None
+        # ...so a late trigger is inert rather than a double-resume.
+        waiters[0].trigger("late")
+        sim.run()
+        assert combined._value == (1, "fast")
+
+    def test_any_of_leaves_no_pending_events_after_winner(self, sim):
+        from repro.sim import any_of
+
+        waiters = [sim.waiter() for _ in range(4)]
+        any_of(sim, waiters)
+        sim.schedule(1.0, waiters[0].trigger, "win")
+        sim.run()
+        assert sim.pending == 0
+
+
+class TestProcessWaiterDetach:
+    def test_stop_detaches_parked_process(self, sim):
+        waiter = sim.waiter()
+
+        def proc():
+            yield waiter
+
+        process = sim.process(proc())
+        assert waiter._process is process
+        process.stop()
+        assert waiter._process is None
+
+    def test_trigger_after_stop_is_inert(self, sim):
+        trace = []
+        waiter = sim.waiter()
+
+        def proc():
+            value = yield waiter
+            trace.append(value)
+
+        process = sim.process(proc())
+        process.stop()
+        waiter.trigger("ghost")
+        sim.run()
+        assert trace == []
+
+    def test_detach_ignores_foreign_process(self, sim):
+        waiter = sim.waiter()
+
+        def parked():
+            yield waiter
+
+        def unrelated():
+            yield 100.0
+
+        owner = sim.process(parked())
+        other = sim.process(unrelated())
+        waiter.detach(other)
+        assert waiter._process is owner
+
+
+class TestReentrancy:
+    def test_step_inside_callback_raises(self, sim):
+        errors = []
+
+        def reenter():
+            try:
+                sim.step()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        sim.schedule(1.0, reenter)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert len(errors) == 1
+        assert "reentrant" in errors[0]
+
+    def test_step_inside_step_raises(self, sim):
+        errors = []
+
+        def reenter():
+            try:
+                sim.step()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        sim.schedule(1.0, reenter)
+        assert sim.step() is True
+        assert len(errors) == 1
+
+    def test_run_inside_callback_raises(self, sim):
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_step_usable_after_callback_error(self, sim):
+        """The guard must reset even when a callback raises."""
+
+        def boom():
+            raise ValueError("bang")
+
+        sim.schedule(1.0, boom)
+        sim.schedule(2.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.step()
+        assert sim.step() is True
+
+
+class TestPendingCounter:
+    def test_double_cancel_decrements_once(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_after_fire_is_noop(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+        event.cancel()
+        assert sim.pending == 0
+
+    def test_pending_matches_heap_ground_truth(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
+        for event in events[::3]:
+            event.cancel()
+        ground_truth = sum(1 for e in sim._heap if not e.cancelled)
+        assert sim.pending == ground_truth
+        sim.run(max_events=5)
+        ground_truth = sum(1 for e in sim._heap if not e.cancelled)
+        assert sim.pending == ground_truth
+        sim.run()
+        assert sim.pending == 0

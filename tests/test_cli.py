@@ -37,6 +37,49 @@ class TestCliRun:
             assert hasattr(module, "summarize"), name
 
 
+class TestCliAliases:
+    def test_module_basename_resolves(self):
+        from repro.cli import _resolve_experiment
+
+        assert _resolve_experiment("fig09") == "fig09"
+        assert _resolve_experiment("fig09_dynamic") == "fig09"
+        assert _resolve_experiment("fig06_utilization") == "fig06"
+        assert _resolve_experiment("no_such_thing") is None
+
+    def test_run_accepts_module_basename(self, capsys):
+        assert main(["run", "table2_comparison", "--quick"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+
+class TestCliObservability:
+    def test_run_with_trace_writes_journal(self, tmp_path, capsys):
+        from repro.obs.trace import read_jsonl
+
+        path = str(tmp_path / "out.jsonl")
+        assert main(["run", "fig02", "--quick", "--trace", path]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 2" in captured.out
+        assert "trace journal" in captured.err
+        events = read_jsonl(path)
+        assert events
+        kinds = {event["ev"] for event in events}
+        assert "io_submit" in kinds
+        assert "io_complete" in kinds
+
+    def test_run_with_stats_prints_report(self, capsys):
+        assert main(["run", "fig15", "--quick", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "run metrics" in out
+        assert "kernel probe" in out
+
+    def test_no_session_left_behind(self, tmp_path):
+        from repro.obs import current_session
+
+        path = str(tmp_path / "out.jsonl")
+        main(["run", "fig15", "--quick", "--trace", path])
+        assert current_session() is None
+
+
 class TestCliCalibrate:
     def test_calibrate_prints_anchors(self, capsys):
         assert main(["calibrate", "--duration-ms", "60"]) == 0
