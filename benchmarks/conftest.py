@@ -9,11 +9,39 @@ and prints the corresponding rows/series, so running
 reproduces the whole evaluation.  Each benchmark also asserts the
 paper's qualitative shape (who wins, roughly by how much), making the
 suite a regression harness for the reproduction itself.
+
+``--jobs N`` fans each experiment's sweep points across N worker
+processes (drivers whose ``run()`` accepts ``jobs``); results are
+identical to a serial run, only wall-clock changes.
 """
 
 from __future__ import annotations
 
+import inspect
+
+import pytest
+
+_JOBS = 1
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per experiment sweep (deterministic; "
+        "ignored by drivers without sweep support)",
+    )
+
+
+@pytest.hookimpl
+def pytest_configure(config):
+    global _JOBS
+    _JOBS = config.getoption("--jobs")
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
+    if _JOBS != 1 and "jobs" in inspect.signature(fn).parameters:
+        kwargs.setdefault("jobs", _JOBS)
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

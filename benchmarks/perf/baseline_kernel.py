@@ -1,0 +1,106 @@
+"""Frozen replica of the event kernel as it stood before the fast path.
+
+This is a faithful copy of the pre-optimisation ``repro.sim.engine``
+hot path -- Event objects on the heap compared through a Python-level
+``__lt__``, no free list, cancelled events skipped lazily with no
+compaction -- with the process/waiter machinery and observability
+hooks stripped (neither participates in the benchmark scenarios).
+
+The perf suite times this replica against the live kernel **in the
+same process**, so ``BENCH_kernel.json`` reports a machine-independent
+speedup ratio rather than raw rates that drift with the host.  Do not
+"fix" or modernise this file: its whole value is staying identical to
+the old kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    pass
+
+
+class Event:
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._sim: Optional["Simulator"] = None
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        sim, self._sim = self._sim, None
+        if sim is not None:
+            sim._live -= 1
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """The pre-PR event loop: a clock plus a heap of Event objects."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._running = False
+        self._live = 0
+
+    def schedule(self, delay_us: float, fn: Callable[..., Any], *args: Any) -> Event:
+        if delay_us < 0:
+            raise SimulationError(f"Cannot schedule {delay_us}us in the past")
+        return self.at(self.now + delay_us, fn, *args)
+
+    def at(self, time_us: float, fn: Callable[..., Any], *args: Any) -> Event:
+        if time_us < self.now:
+            raise SimulationError(f"Cannot schedule at t={time_us} before now={self.now}")
+        self._seq += 1
+        event = Event(time_us, self._seq, fn, args)
+        event._sim = self
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until_us: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until_us is not None and event.time > until_us:
+                    break
+                heapq.heappop(self._heap)
+                self._fire(event)
+                fired += 1
+            if until_us is not None and self.now < until_us:
+                self.now = until_us
+        finally:
+            self._running = False
+        return self.now
+
+    def _fire(self, event: Event) -> None:
+        event._sim = None
+        self._live -= 1
+        self.now = event.time
+        event.fn(*event.args)
+
+    @property
+    def pending(self) -> int:
+        return self._live

@@ -1,0 +1,82 @@
+"""End-to-end wall-clock benchmarks: fio replay and an interference run.
+
+Two representative workloads timed with the live kernel:
+
+* ``fio_replay`` -- one closed-loop 4 KiB random-read worker (QD32)
+  against a single SSD through the full NVMe-oF path, reporting
+  simulated IOs and kernel events per wall-clock second;
+* ``fig04`` -- the complete Figure 4 interference sweep at a reduced
+  window, reporting wall seconds serial and with ``jobs=4`` (results
+  are asserted identical, so the parallel column is pure wall-clock).
+
+Raw wall-clock rates are machine-dependent, so ``BENCH_e2e.json`` is
+informational -- the machine-independent regression gate lives in
+``test_kernel_perf.py``.  Quick mode (``REPRO_PERF_QUICK=1``) shrinks
+the windows for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.harness.experiments import fig04_interference as fig04
+from repro.harness.testbed import Testbed, TestbedConfig
+from repro.obs import KernelProbe
+from repro.workloads import FioSpec
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+OUTPUT_PATH = REPO_ROOT / "BENCH_e2e.json"
+
+QUICK = os.environ.get("REPRO_PERF_QUICK", "") not in ("", "0")
+FIO_MEASURE_US = 100_000.0 if QUICK else 500_000.0
+FIG04_MEASURE_US = 30_000.0 if QUICK else 150_000.0
+
+_report: dict = {"suite": "e2e", "quick": QUICK, "cpu_count": os.cpu_count()}
+
+
+def _flush_report() -> None:
+    OUTPUT_PATH.write_text(json.dumps(_report, indent=2) + "\n", encoding="utf-8")
+
+
+def test_fio_replay_rate():
+    testbed = Testbed(TestbedConfig(scheme="vanilla", condition="clean"))
+    testbed.add_worker(
+        FioSpec("w0", io_pages=1, queue_depth=32, read_ratio=1.0), region_pages=8192
+    )
+    probe = KernelProbe()
+    testbed.sim.probe = probe
+    start = time.perf_counter()
+    results = testbed.run(warmup_us=50_000.0, measure_us=FIO_MEASURE_US)
+    wall_s = time.perf_counter() - start
+    iops = results["workers"][0]["iops"]
+    _report["fio_replay"] = {
+        "measure_us": FIO_MEASURE_US,
+        "wall_seconds": round(wall_s, 3),
+        "kernel_events_per_wall_sec": round(probe.fired_total / wall_s),
+        "simulated_iops": round(iops),
+        "sim_us_per_wall_sec": round((50_000.0 + FIO_MEASURE_US) / wall_s),
+    }
+    _flush_report()
+    assert results["workers"][0]["bandwidth_mbps"] > 0
+
+
+def test_fig04_interference_wall_clock():
+    start = time.perf_counter()
+    serial = fig04.run(measure_us=FIG04_MEASURE_US)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = fig04.run(measure_us=FIG04_MEASURE_US, jobs=4)
+    parallel_s = time.perf_counter() - start
+
+    _report["fig04"] = {
+        "measure_us": FIG04_MEASURE_US,
+        "serial_wall_seconds": round(serial_s, 3),
+        "jobs4_wall_seconds": round(parallel_s, 3),
+        "jobs4_speedup": round(serial_s / parallel_s, 3),
+    }
+    _flush_report()
+    assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)

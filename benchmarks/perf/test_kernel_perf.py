@@ -1,0 +1,172 @@
+"""Kernel event-throughput benchmark and regression gate.
+
+Times the live kernel (:class:`repro.sim.Simulator`) against the
+frozen pre-optimisation replica (:mod:`baseline_kernel`) on three
+event-pattern scenarios, in the same process and interleaved
+best-of-N, then:
+
+* writes ``BENCH_kernel.json`` at the repo root with both rates and
+  the speedup ratio per scenario (the ``chain`` scenario is the
+  headline number);
+* fails if the headline speedup regressed more than 30% below the
+  committed reference in ``benchmarks/perf/BASELINE.json``.
+
+Ratios, not raw rates, are gated: a slower CI machine slows both
+kernels alike, so the ratio is machine-independent.
+
+Quick mode (``REPRO_PERF_QUICK=1``) shrinks the event counts and
+rounds for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import baseline_kernel
+from repro.sim import Simulator
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = Path(__file__).resolve().parent / "BASELINE.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_kernel.json"
+
+QUICK = os.environ.get("REPRO_PERF_QUICK", "") not in ("", "0")
+ROUNDS = 3 if QUICK else 5
+EVENTS = 60_000 if QUICK else 400_000
+REGRESSION_TOLERANCE = 0.30
+
+
+# ----------------------------------------------------------------------
+# Scenarios: each takes a simulator (either kernel) and a target event
+# count, does the same arithmetic work on both, and returns the number
+# of events fired.  No RNG: both kernels must see identical schedules.
+# ----------------------------------------------------------------------
+def scenario_chain(sim, n_events: int) -> int:
+    """Self-rescheduling timers -- the shape of closed-loop IO.
+
+    512 concurrent timers matches the heap depth of the paper's
+    multi-tenant runs (e.g. Figure 7's 32 tenants at QD32 keep on the
+    order of a thousand events outstanding).
+    """
+    timers = 512
+    state = {"fired": 0}
+
+    def tick(period):
+        state["fired"] += 1
+        sim.schedule(period, tick, period)
+
+    for index in range(timers):
+        sim.schedule(0.1 + index * 0.01, tick, 1.0 + index * 0.03)
+    sim.run(max_events=n_events)
+    return state["fired"]
+
+
+def scenario_drain(sim, n_events: int) -> int:
+    """Pre-scheduled burst drained in one run() -- a device queue flush."""
+    state = {"fired": 0}
+
+    def fire():
+        state["fired"] += 1
+
+    for index in range(n_events):
+        # Deterministic pseudo-shuffled times exercise heap sifting.
+        sim.at(float((index * 7919) % n_events) + 0.5, fire)
+    sim.run()
+    return state["fired"]
+
+
+def scenario_cancel(sim, n_events: int) -> int:
+    """Schedule/cancel churn -- the shape of timeout-guarded IO."""
+    state = {"fired": 0}
+
+    def fire():
+        state["fired"] += 1
+
+    cancelled = 0
+    batch = 1000
+    scheduled = 0
+    while scheduled < n_events:
+        events = [sim.schedule(1.0 + (i % 97) * 0.11, fire) for i in range(batch)]
+        for event in events[::2]:
+            event.cancel()
+            cancelled += 1
+        sim.run(until_us=sim.now + 50.0)
+        scheduled += batch
+    sim.run()
+    return state["fired"] + cancelled
+
+
+SCENARIOS = {
+    "chain": scenario_chain,
+    "drain": scenario_drain,
+    "cancel": scenario_cancel,
+}
+
+#: The acceptance metric: closed-loop timer chains dominate real runs.
+HEADLINE = "chain"
+
+
+def _best_rate(make_sim, scenario, n_events: int, rounds: int) -> float:
+    """Best events/second over ``rounds`` runs (fresh simulator each)."""
+    best = 0.0
+    for _ in range(rounds):
+        sim = make_sim()
+        start = time.perf_counter()
+        fired = scenario(sim, n_events)
+        elapsed = time.perf_counter() - start
+        best = max(best, fired / elapsed)
+    return best
+
+
+def measure() -> dict:
+    results = {}
+    for name, scenario in SCENARIOS.items():
+        # Interleave the two kernels round by round so ambient machine
+        # noise (thermal, cache pressure) hits both equally.
+        baseline_best = 0.0
+        current_best = 0.0
+        for _ in range(ROUNDS):
+            baseline_best = max(
+                baseline_best, _best_rate(baseline_kernel.Simulator, scenario, EVENTS, 1)
+            )
+            current_best = max(current_best, _best_rate(Simulator, scenario, EVENTS, 1))
+        results[name] = {
+            "baseline_events_per_sec": round(baseline_best),
+            "current_events_per_sec": round(current_best),
+            "speedup": round(current_best / baseline_best, 3),
+        }
+    return results
+
+
+def test_kernel_throughput():
+    scenarios = measure()
+    headline = scenarios[HEADLINE]["speedup"]
+    report = {
+        "suite": "kernel",
+        "quick": QUICK,
+        "events_per_scenario": EVENTS,
+        "rounds": ROUNDS,
+        "headline_scenario": HEADLINE,
+        "headline_speedup": headline,
+        "scenarios": scenarios,
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(json.dumps(report, indent=2))
+
+    # Both kernels must do identical logical work.
+    for name, scenario in SCENARIOS.items():
+        assert scenario(baseline_kernel.Simulator(), 10_000) == scenario(
+            Simulator(), 10_000
+        ), f"scenario {name} diverged between kernels"
+
+    # Regression gate against the committed reference ratio.
+    committed = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    reference = committed["kernel"]["headline_speedup"]
+    floor = reference * (1.0 - REGRESSION_TOLERANCE)
+    assert headline >= floor, (
+        f"kernel speedup regressed: measured {headline:.2f}x vs committed "
+        f"{reference:.2f}x (floor {floor:.2f}x); see BENCH_kernel.json"
+    )

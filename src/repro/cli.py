@@ -74,7 +74,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.experiment!r}; try: python -m repro list", file=sys.stderr)
         return 2
     module, quick_kwargs = _load(name)
-    kwargs = quick_kwargs if args.quick else {}
+    kwargs = dict(quick_kwargs) if args.quick else {}
+    if args.jobs != 1:
+        import inspect
+
+        if "jobs" in inspect.signature(module.run).parameters:
+            kwargs["jobs"] = args.jobs
+        else:
+            print(
+                f"note: {name} does not support --jobs; running serially",
+                file=sys.stderr,
+            )
     if not args.trace and not args.stats:
         results = module.run(**kwargs)
         print(module.summarize(results))
@@ -234,6 +244,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", help="e.g. fig07, table1 (see `list`)")
     run_parser.add_argument(
         "--quick", action="store_true", help="scaled-down measurement windows"
+    )
+    run_parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the experiment's sweep points "
+        "(results are identical to a serial run)",
     )
     run_parser.add_argument(
         "--trace",

@@ -24,9 +24,14 @@ RESPONSE_CAPSULE_BYTES = 32
 _request_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class FabricRequest:
-    """One NVMe-oF IO as seen end to end."""
+    """One NVMe-oF IO as seen end to end.
+
+    Slotted: one of these is allocated per IO, so the dict-free layout
+    keeps the per-request footprint and attribute access cost down on
+    the hot path.
+    """
 
     tenant_id: str
     op: IoOp

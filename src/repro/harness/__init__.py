@@ -7,7 +7,33 @@ under :mod:`repro.harness.experiments` each regenerate one table or
 figure of the paper and are what the benchmark suite calls.
 """
 
+from repro.harness.parallel import (
+    Sweep,
+    SweepPoint,
+    merge_histograms,
+    merge_interval_series,
+    merge_rows,
+    merge_timelines,
+    point_seed,
+    run_sweep,
+    sweep_axes,
+)
 from repro.harness.report import format_series, format_table
 from repro.harness.testbed import SCHEMES, Testbed, TestbedConfig
 
-__all__ = ["Testbed", "TestbedConfig", "SCHEMES", "format_table", "format_series"]
+__all__ = [
+    "Testbed",
+    "TestbedConfig",
+    "SCHEMES",
+    "format_table",
+    "format_series",
+    "Sweep",
+    "SweepPoint",
+    "run_sweep",
+    "sweep_axes",
+    "point_seed",
+    "merge_rows",
+    "merge_histograms",
+    "merge_interval_series",
+    "merge_timelines",
+]

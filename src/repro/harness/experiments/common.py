@@ -2,8 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
+# Re-exported so drivers import their whole sweep API from one place.
+from repro.harness.parallel import (
+    Sweep,
+    merge_rows,  # noqa: F401
+    point_seed,  # noqa: F401
+    run_sweep,  # noqa: F401
+    sweep_axes,
+)
 from repro.harness.testbed import Testbed, TestbedConfig
 from repro.metrics.fairness import f_util
 from repro.workloads import FioSpec
@@ -61,6 +69,29 @@ def run_workers(
     return results
 
 
+def build_sweep(
+    name: str,
+    axes: Mapping[str, Iterable[Any]],
+    point_fn: Callable[..., Any],
+    root_seed: int = 42,
+    **fixed: Any,
+) -> Sweep:
+    """Declare one sweep point per combination of the named axes.
+
+    Axes expand in nested-loop order (last axis fastest), matching the
+    open-coded loops the drivers used before, so row order is stable.
+    ``point_fn`` receives the axis values, the ``fixed`` kwargs, and a
+    per-point ``seed`` derived from ``root_seed`` and the point label.
+    """
+    sweep = Sweep(name, root_seed=root_seed)
+    for combo in sweep_axes(axes):
+        label = ",".join(f"{key}={combo[key]}" for key in combo)
+        sweep.point(
+            point_fn, label=label, seed=sweep.seed_for(label), **fixed, **combo
+        )
+    return sweep
+
+
 _standalone_cache: Dict[Tuple, float] = {}
 
 
@@ -83,6 +114,7 @@ def standalone_bandwidth(
         spec.queue_depth,
         spec.read_ratio,
         spec.pattern,
+        measure_us,
     )
     cached = _standalone_cache.get(key)
     if cached is not None:
@@ -111,11 +143,21 @@ def f_utils_for(
     specs: List[FioSpec],
     condition: str,
     device_profile: str = "dct983",
+    standalone_measure_us: float = DEFAULT_MEASURE_US,
 ) -> List[float]:
-    """Per-worker f-Util values for one run."""
+    """Per-worker f-Util values for one run.
+
+    ``standalone_measure_us`` scales the denominator's measurement
+    window; quick/golden runs shrink it along with their own windows.
+    """
     total = len(specs)
     values = []
     for worker, spec in zip(results["workers"], specs):
-        standalone = standalone_bandwidth(condition, spec, device_profile=device_profile)
+        standalone = standalone_bandwidth(
+            condition,
+            spec,
+            measure_us=standalone_measure_us,
+            device_profile=device_profile,
+        )
         values.append(f_util(worker["bandwidth_mbps"], standalone, total))
     return values

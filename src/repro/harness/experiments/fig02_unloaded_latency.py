@@ -8,10 +8,10 @@ SmartNIC adds ~1% latency for small random reads, rising to ~20% at
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.fabric.smartnic import SERVER_CPU, SMARTNIC_CPU
-from repro.harness.experiments.common import run_workers
+from repro.harness.experiments.common import build_sweep, merge_rows, run_workers
 from repro.harness.report import format_table
 from repro.harness.testbed import TestbedConfig
 from repro.workloads import FioSpec
@@ -19,48 +19,46 @@ from repro.workloads import FioSpec
 #: IO sizes on the figure's x-axis, in KiB.
 IO_SIZES_KB = (4, 8, 16, 32, 128, 256)
 
+_CPU_MODELS = {"server": SERVER_CPU, "smartnic": SMARTNIC_CPU}
 
-def run(measure_us: float = 300_000.0) -> Dict[str, object]:
-    rows: List[dict] = []
-    for host, cpu_model in (("server", SERVER_CPU), ("smartnic", SMARTNIC_CPU)):
-        for size_kb in IO_SIZES_KB:
-            io_pages = size_kb // 4
-            for op_name, spec in (
-                (
-                    "rnd-read",
-                    FioSpec("w0", io_pages=io_pages, queue_depth=1, read_ratio=1.0),
-                ),
-                (
-                    "seq-write",
-                    FioSpec(
-                        "w0",
-                        io_pages=io_pages,
-                        queue_depth=1,
-                        read_ratio=0.0,
-                        pattern="sequential",
-                    ),
-                ),
-            ):
-                results = run_workers(
-                    TestbedConfig(scheme="vanilla", condition="clean", cpu_model=cpu_model),
-                    [spec],
-                    warmup_us=50_000.0,
-                    measure_us=measure_us,
-                    region_pages=8192,
-                )
-                worker = results["workers"][0]
-                latency = (
-                    worker["read_latency"] if op_name == "rnd-read" else worker["write_latency"]
-                )
-                rows.append(
-                    {
-                        "host": host,
-                        "op": op_name,
-                        "size_kb": size_kb,
-                        "avg_latency_us": latency["mean"],
-                    }
-                )
-    return {"figure": "2", "rows": rows}
+
+def _point(host: str, size_kb: int, op: str, measure_us: float, seed: int) -> dict:
+    """One (host CPU, IO size, op) latency measurement."""
+    io_pages = size_kb // 4
+    if op == "rnd-read":
+        spec = FioSpec("w0", io_pages=io_pages, queue_depth=1, read_ratio=1.0)
+    else:
+        spec = FioSpec(
+            "w0", io_pages=io_pages, queue_depth=1, read_ratio=0.0, pattern="sequential"
+        )
+    results = run_workers(
+        TestbedConfig(
+            scheme="vanilla", condition="clean", cpu_model=_CPU_MODELS[host], seed=seed
+        ),
+        [spec],
+        warmup_us=50_000.0,
+        measure_us=measure_us,
+        region_pages=8192,
+    )
+    worker = results["workers"][0]
+    latency = worker["read_latency"] if op == "rnd-read" else worker["write_latency"]
+    return {
+        "host": host,
+        "op": op,
+        "size_kb": size_kb,
+        "avg_latency_us": latency["mean"],
+    }
+
+
+def run(measure_us: float = 300_000.0, jobs: int = 1, root_seed: int = 42) -> Dict[str, object]:
+    sweep = build_sweep(
+        "fig02",
+        {"host": ("server", "smartnic"), "size_kb": IO_SIZES_KB, "op": ("rnd-read", "seq-write")},
+        _point,
+        root_seed=root_seed,
+        measure_us=measure_us,
+    )
+    return {"figure": "2", "rows": merge_rows(sweep.run(jobs=jobs))}
 
 
 def summarize(results: Dict[str, object]) -> str:

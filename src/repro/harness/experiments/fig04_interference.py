@@ -8,9 +8,9 @@ and a write neighbour costs the victim ~59% of its bandwidth.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from repro.harness.experiments.common import run_workers
+from repro.harness.experiments.common import build_sweep, merge_rows, run_workers
 from repro.harness.report import format_table
 from repro.harness.testbed import TestbedConfig
 from repro.workloads import FioSpec
@@ -25,23 +25,38 @@ NEIGHBOURS = (
     ("4KB-WR-QD128", FioSpec("nbr", io_pages=1, queue_depth=128, read_ratio=0.0)),
 )
 
+_NEIGHBOUR_BY_LABEL = dict(NEIGHBOURS)
+
 VICTIM = FioSpec("victim", io_pages=1, queue_depth=32, read_ratio=1.0)
 
 
-def run(measure_us: float = 600_000.0, condition: str = "clean") -> Dict[str, object]:
-    rows: List[dict] = []
-    for label, neighbour in NEIGHBOURS:
-        results = run_workers(
-            TestbedConfig(scheme="vanilla", condition=condition),
-            [VICTIM, neighbour],
-            measure_us=measure_us,
-            region_pages=8192,
-        )
-        victim_bw, neighbour_bw = (w["bandwidth_mbps"] for w in results["workers"])
-        rows.append(
-            {"neighbour": label, "victim_mbps": victim_bw, "neighbour_mbps": neighbour_bw}
-        )
-    return {"figure": "4", "condition": condition, "rows": rows}
+def _point(neighbour: str, condition: str, measure_us: float, seed: int) -> dict:
+    """One victim-vs-neighbour run on the vanilla target."""
+    results = run_workers(
+        TestbedConfig(scheme="vanilla", condition=condition, seed=seed),
+        [VICTIM, _NEIGHBOUR_BY_LABEL[neighbour]],
+        measure_us=measure_us,
+        region_pages=8192,
+    )
+    victim_bw, neighbour_bw = (w["bandwidth_mbps"] for w in results["workers"])
+    return {"neighbour": neighbour, "victim_mbps": victim_bw, "neighbour_mbps": neighbour_bw}
+
+
+def run(
+    measure_us: float = 600_000.0,
+    condition: str = "clean",
+    jobs: int = 1,
+    root_seed: int = 42,
+) -> Dict[str, object]:
+    sweep = build_sweep(
+        "fig04",
+        {"neighbour": [label for label, _ in NEIGHBOURS]},
+        _point,
+        root_seed=root_seed,
+        condition=condition,
+        measure_us=measure_us,
+    )
+    return {"figure": "4", "condition": condition, "rows": merge_rows(sweep.run(jobs=jobs))}
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -15,9 +15,16 @@ Parda starves fragmented reads.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.harness.experiments.common import f_utils_for, read_spec, run_workers, write_spec
+from repro.harness.experiments.common import (
+    Sweep,
+    f_utils_for,
+    merge_rows,
+    read_spec,
+    run_workers,
+    write_spec,
+)
 from repro.harness.report import format_table
 from repro.harness.testbed import SCHEMES, TestbedConfig
 
@@ -43,43 +50,78 @@ SUBEXPERIMENTS = {
 }
 
 
+def _point(
+    sub: str,
+    scheme: str,
+    workers_per_class: int,
+    warmup_us: float,
+    measure_us: float,
+    seed: int,
+    standalone_measure_us: Optional[float] = None,
+) -> List[dict]:
+    """One (sub-experiment, scheme) cell: per-class bandwidth and f-Util."""
+    condition, _description, make_specs = SUBEXPERIMENTS[sub]
+    specs, groups = make_specs(workers_per_class)
+    results = run_workers(
+        TestbedConfig(scheme=scheme, condition=condition, seed=seed),
+        specs,
+        warmup_us=warmup_us,
+        measure_us=measure_us,
+        region_pages=1600,
+    )
+    if standalone_measure_us is None:
+        futils = f_utils_for(results, specs, condition)
+    else:
+        futils = f_utils_for(
+            results, specs, condition, standalone_measure_us=standalone_measure_us
+        )
+    by_group: Dict[str, dict] = {}
+    for worker, group, value in zip(results["workers"], groups, futils):
+        bucket = by_group.setdefault(group, {"mbps": 0.0, "futil": [], "n": 0})
+        bucket["mbps"] += worker["bandwidth_mbps"]
+        bucket["futil"].append(value)
+        bucket["n"] += 1
+    return [
+        {
+            "sub": sub,
+            "condition": condition,
+            "scheme": scheme,
+            "class": group,
+            "aggregate_mbps": bucket["mbps"],
+            "per_worker_mbps": bucket["mbps"] / bucket["n"],
+            "f_util": sum(bucket["futil"]) / bucket["n"],
+        }
+        for group, bucket in by_group.items()
+    ]
+
+
 def run(
     measure_us: float = 1_500_000.0,
     warmup_us: float = 700_000.0,
     schemes=SCHEMES,
     workers_per_class: int = 16,
+    jobs: int = 1,
+    root_seed: int = 42,
+    standalone_measure_us: Optional[float] = None,
 ) -> Dict[str, object]:
-    rows: List[dict] = []
-    for sub, (condition, description, make_specs) in SUBEXPERIMENTS.items():
+    # Not build_sweep: the scheme axis is a run() parameter, so the
+    # sweep is declared point by point to keep labels seed-stable.
+    sweep = Sweep("fig07", root_seed=root_seed)
+    for sub in SUBEXPERIMENTS:
         for scheme in schemes:
-            specs, groups = make_specs(workers_per_class)
-            results = run_workers(
-                TestbedConfig(scheme=scheme, condition=condition),
-                specs,
+            label = f"sub={sub},scheme={scheme}"
+            sweep.point(
+                _point,
+                label=label,
+                sub=sub,
+                scheme=scheme,
+                workers_per_class=workers_per_class,
                 warmup_us=warmup_us,
                 measure_us=measure_us,
-                region_pages=1600,
+                seed=sweep.seed_for(label),
+                standalone_measure_us=standalone_measure_us,
             )
-            futils = f_utils_for(results, specs, condition)
-            by_group: Dict[str, dict] = {}
-            for worker, group, value in zip(results["workers"], groups, futils):
-                bucket = by_group.setdefault(group, {"mbps": 0.0, "futil": [], "n": 0})
-                bucket["mbps"] += worker["bandwidth_mbps"]
-                bucket["futil"].append(value)
-                bucket["n"] += 1
-            for group, bucket in by_group.items():
-                rows.append(
-                    {
-                        "sub": sub,
-                        "condition": condition,
-                        "scheme": scheme,
-                        "class": group,
-                        "aggregate_mbps": bucket["mbps"],
-                        "per_worker_mbps": bucket["mbps"] / bucket["n"],
-                        "f_util": sum(bucket["futil"]) / bucket["n"],
-                    }
-                )
-    return {"figure": "7", "rows": rows}
+    return {"figure": "7", "rows": merge_rows(sweep.run(jobs=jobs))}
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -10,8 +10,9 @@ throughput.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict
 
+from repro.harness.experiments.common import build_sweep, merge_rows
 from repro.harness.report import format_table
 from repro.sim import Simulator
 from repro.ssd import DeviceCommand, IoOp, SsdDevice, precondition_clean, precondition_fragmented
@@ -19,14 +20,20 @@ from repro.ssd import DeviceCommand, IoOp, SsdDevice, precondition_clean, precon
 READ_RATIOS = (0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 0.9, 0.95, 1.0)
 
 
-def _closed_loop(condition: str, read_ratio: float, queue_depth: int, duration_us: float):
+def _closed_loop(
+    condition: str,
+    read_ratio: float,
+    queue_depth: int,
+    duration_us: float,
+    seed: int = 11,
+):
     sim = Simulator()
     device = SsdDevice(sim)
     if condition == "clean":
         precondition_clean(device)
     else:
         precondition_fragmented(device)
-    rng = random.Random(11)
+    rng = random.Random(seed)
     exported = device.exported_pages
     state = {"read_bytes": 0, "write_bytes": 0, "ops": 0}
 
@@ -55,25 +62,35 @@ def _closed_loop(condition: str, read_ratio: float, queue_depth: int, duration_u
     }
 
 
+def _point(
+    condition: str, read_ratio: float, queue_depth: int, duration_us: float, seed: int
+) -> dict:
+    point = _closed_loop(condition, read_ratio, queue_depth, duration_us, seed=seed)
+    return {
+        "condition": condition,
+        "read_ratio": read_ratio,
+        "read_mbps": point["read_mbps"],
+        "write_mbps": point["write_mbps"],
+        "kiops": point["kiops"],
+    }
+
+
 def run(
     duration_us: float = 500_000.0,
     queue_depth: int = 32,
     read_ratios=READ_RATIOS,
+    jobs: int = 1,
+    root_seed: int = 42,
 ) -> Dict[str, object]:
-    rows: List[dict] = []
-    for condition in ("clean", "fragmented"):
-        for ratio in read_ratios:
-            point = _closed_loop(condition, ratio, queue_depth, duration_us)
-            rows.append(
-                {
-                    "condition": condition,
-                    "read_ratio": ratio,
-                    "read_mbps": point["read_mbps"],
-                    "write_mbps": point["write_mbps"],
-                    "kiops": point["kiops"],
-                }
-            )
-    return {"figure": "14", "rows": rows}
+    sweep = build_sweep(
+        "fig14",
+        {"condition": ("clean", "fragmented"), "read_ratio": read_ratios},
+        _point,
+        root_seed=root_seed,
+        queue_depth=queue_depth,
+        duration_us=duration_us,
+    )
+    return {"figure": "14", "rows": merge_rows(sweep.run(jobs=jobs))}
 
 
 def summarize(results: Dict[str, object]) -> str:

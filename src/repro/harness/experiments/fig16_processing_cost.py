@@ -9,8 +9,9 @@ argument behind "we can only add minimal computation per storage IO".
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
+from repro.harness.experiments.common import build_sweep, merge_rows
 from repro.harness.report import format_table
 from repro.harness.testbed import Testbed, TestbedConfig
 from repro.workloads import FioSpec
@@ -19,8 +20,18 @@ ADDED_COSTS_US = (0.0, 1.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0)
 NUM_SSDS = 4
 NUM_CORES = 8
 
+#: case label -> (io_pages, read)
+CASES = {
+    "4KB-read": (1, True),
+    "128KB-read": (32, True),
+    "4KB-write": (1, False),
+    "128KB-write": (32, False),
+}
 
-def _case(io_pages: int, read: bool, added_cost: float, measure_us: float) -> float:
+
+def _case(
+    io_pages: int, read: bool, added_cost: float, measure_us: float, seed: int = 42
+) -> float:
     testbed = Testbed(
         TestbedConfig(
             scheme="vanilla",
@@ -28,6 +39,7 @@ def _case(io_pages: int, read: bool, added_cost: float, measure_us: float) -> fl
             num_ssds=NUM_SSDS,
             num_cores=NUM_CORES,
             added_io_cost_us=added_cost,
+            seed=seed,
         )
     )
     for ssd_index in range(NUM_SSDS):
@@ -47,18 +59,26 @@ def _case(io_pages: int, read: bool, added_cost: float, measure_us: float) -> fl
     return results["total_bandwidth_mbps"] / 1024.0  # GB/s
 
 
-def run(measure_us: float = 300_000.0, added_costs=ADDED_COSTS_US) -> Dict[str, object]:
-    rows: List[dict] = []
-    for label, io_pages, read in (
-        ("4KB-read", 1, True),
-        ("128KB-read", 32, True),
-        ("4KB-write", 1, False),
-        ("128KB-write", 32, False),
-    ):
-        for cost in added_costs:
-            bandwidth = _case(io_pages, read, cost, measure_us)
-            rows.append({"case": label, "added_cost_us": cost, "gbps": bandwidth})
-    return {"figure": "16", "rows": rows}
+def _point(case: str, added_cost_us: float, measure_us: float, seed: int) -> dict:
+    io_pages, read = CASES[case]
+    bandwidth = _case(io_pages, read, added_cost_us, measure_us, seed=seed)
+    return {"case": case, "added_cost_us": added_cost_us, "gbps": bandwidth}
+
+
+def run(
+    measure_us: float = 300_000.0,
+    added_costs=ADDED_COSTS_US,
+    jobs: int = 1,
+    root_seed: int = 42,
+) -> Dict[str, object]:
+    sweep = build_sweep(
+        "fig16",
+        {"case": CASES, "added_cost_us": added_costs},
+        _point,
+        root_seed=root_seed,
+        measure_us=measure_us,
+    )
+    return {"figure": "16", "rows": merge_rows(sweep.run(jobs=jobs))}
 
 
 def summarize(results: Dict[str, object]) -> str:

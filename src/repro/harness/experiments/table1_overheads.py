@@ -16,13 +16,19 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.harness.experiments.common import Sweep
 from repro.harness.report import format_table
 from repro.harness.testbed import Testbed, TestbedConfig
 from repro.workloads import FioSpec
 
+CYCLE_CASES = (("1 worker (QD1)", 1, 1), ("16 workers (QD32)", 32, 16))
+NULL_IOPS_CASES = (("1 core, 1 worker", 1, 1), ("4 cores, 8 workers", 4, 8))
 
-def _cycles_case(scheme: str, queue_depth: int, workers: int, measure_us: float) -> Dict[str, float]:
-    testbed = Testbed(TestbedConfig(scheme=scheme, condition="clean"))
+
+def _cycles_case(
+    scheme: str, queue_depth: int, workers: int, measure_us: float, seed: int = 42
+) -> Dict[str, float]:
+    testbed = Testbed(TestbedConfig(scheme=scheme, condition="clean", seed=seed))
     for index in range(workers):
         testbed.add_worker(
             FioSpec(f"w{index}", io_pages=1, queue_depth=queue_depth, read_ratio=1.0),
@@ -34,7 +40,9 @@ def _cycles_case(scheme: str, queue_depth: int, workers: int, measure_us: float)
     return {"submit": cycles.get("submit", 0.0), "complete": cycles.get("complete", 0.0)}
 
 
-def _null_iops_case(scheme: str, cores: int, workers: int, measure_us: float) -> float:
+def _null_iops_case(
+    scheme: str, cores: int, workers: int, measure_us: float, seed: int = 42
+) -> float:
     # One NULL backend per core: pipelines are pinned per SSD, so the
     # multi-core case distributes tenants across per-core pipelines
     # exactly as the paper's multi-core extension balances them.
@@ -45,6 +53,7 @@ def _null_iops_case(scheme: str, cores: int, workers: int, measure_us: float) ->
             device_profile="null",
             num_cores=cores,
             num_ssds=cores,
+            seed=seed,
         )
     )
     for index in range(workers):
@@ -57,11 +66,40 @@ def _null_iops_case(scheme: str, cores: int, workers: int, measure_us: float) ->
     return sum(worker["iops"] for worker in results["workers"]) / 1000.0
 
 
-def run(measure_us: float = 200_000.0) -> Dict[str, object]:
+def run(measure_us: float = 200_000.0, jobs: int = 1, root_seed: int = 42) -> Dict[str, object]:
+    # Each (case, scheme) measurement is one sweep point; the
+    # vanilla/gimbal pairing happens after the ordered results return.
+    sweep = Sweep("table1", root_seed=root_seed)
+    for label, queue_depth, workers in CYCLE_CASES:
+        for scheme in ("vanilla", "gimbal"):
+            point_label = f"cycles:{label}:{scheme}"
+            sweep.point(
+                _cycles_case,
+                label=point_label,
+                scheme=scheme,
+                queue_depth=queue_depth,
+                workers=workers,
+                measure_us=measure_us,
+                seed=sweep.seed_for(point_label),
+            )
+    for label, cores, workers in NULL_IOPS_CASES:
+        for scheme in ("vanilla", "gimbal"):
+            point_label = f"null-iops:{label}:{scheme}"
+            sweep.point(
+                _null_iops_case,
+                label=point_label,
+                scheme=scheme,
+                cores=cores,
+                workers=workers,
+                measure_us=measure_us,
+                seed=sweep.seed_for(point_label),
+            )
+    results = sweep.run(jobs=jobs)
+
     cycle_rows: List[dict] = []
-    for label, queue_depth, workers in (("1 worker (QD1)", 1, 1), ("16 workers (QD32)", 32, 16)):
-        vanilla = _cycles_case("vanilla", queue_depth, workers, measure_us)
-        gimbal = _cycles_case("gimbal", queue_depth, workers, measure_us)
+    for case_index, (label, _queue_depth, _workers) in enumerate(CYCLE_CASES):
+        vanilla = results[2 * case_index]
+        gimbal = results[2 * case_index + 1]
         for path in ("submit", "complete"):
             overhead_pct = (
                 (gimbal[path] - vanilla[path]) / vanilla[path] * 100.0 if vanilla[path] else 0.0
@@ -76,9 +114,10 @@ def run(measure_us: float = 200_000.0) -> Dict[str, object]:
                 }
             )
     iops_rows: List[dict] = []
-    for label, cores, workers in (("1 core, 1 worker", 1, 1), ("4 cores, 8 workers", 4, 8)):
-        vanilla = _null_iops_case("vanilla", cores, workers, measure_us)
-        gimbal = _null_iops_case("gimbal", cores, workers, measure_us)
+    offset = 2 * len(CYCLE_CASES)
+    for case_index, (label, _cores, _workers) in enumerate(NULL_IOPS_CASES):
+        vanilla = results[offset + 2 * case_index]
+        gimbal = results[offset + 2 * case_index + 1]
         iops_rows.append(
             {
                 "case": label,

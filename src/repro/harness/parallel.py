@@ -1,0 +1,210 @@
+"""Deterministic parallel sweep runner.
+
+Every paper figure is a *sweep*: a list of independent simulation
+points (one testbed stood up per combination of scheme, condition,
+IO shape, ...), each fully determined by its inputs and its RNG seed.
+That independence is what this module exploits: points fan out across
+a :class:`concurrent.futures.ProcessPoolExecutor` and the results are
+merged back **in declared point order**, so a parallel run produces
+output byte-identical to the serial run.
+
+Determinism contract
+--------------------
+
+* A point function must be a module-level callable (picklable by
+  reference) whose result depends only on its keyword arguments.
+  Global state it touches (RNG streams, per-process caches) must be
+  derived from those arguments, never from execution order.
+* Per-point seeds are derived with :func:`repro.sim.rng.derive_seed`
+  from the sweep's root seed and the point's label, so they are stable
+  across processes, Python versions and point orderings.
+* Merging happens in point-declaration order using order-free
+  reducers: list results concatenate, and metric objects fold with
+  :meth:`LatencyHistogram.merge() <repro.metrics.histogram.LatencyHistogram.merge>`,
+  :meth:`IntervalSeries.merge() <repro.metrics.throughput.IntervalSeries.merge>` and
+  :meth:`PercentileTimeline.merge() <repro.metrics.timeline.PercentileTimeline.merge>`.
+
+``jobs <= 1`` runs the points serially in-process (no executor, no
+pickling), which is also the fallback the experiment drivers default
+to, so single-threaded behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.metrics import IntervalSeries, LatencyHistogram, PercentileTimeline
+from repro.sim.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation point of a sweep."""
+
+    index: int
+    label: str
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def execute(self) -> Any:
+        return self.fn(**self.kwargs)
+
+
+def point_seed(root_seed: int, label: str) -> int:
+    """The child seed for one sweep point.
+
+    Stable across processes and independent of sibling points, so a
+    point computes the same result whether it runs first, last, or in
+    a worker process of its own.
+    """
+    return derive_seed(root_seed, f"sweep-point:{label}")
+
+
+def _execute_point(point: SweepPoint):
+    """Module-level trampoline so points pickle by reference."""
+    return point.index, point.execute()
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    jobs: int = 1,
+    executor: Optional[ProcessPoolExecutor] = None,
+) -> List[Any]:
+    """Execute ``points`` and return their results in point order.
+
+    ``jobs`` is the worker-process count; values <= 1 run serially
+    in-process.  The returned list always lines up with ``points`` by
+    index, regardless of completion order.
+    """
+    points = list(points)
+    indices = [p.index for p in points]
+    if len(set(indices)) != len(indices):
+        raise ValueError("sweep points must have unique indices")
+    if jobs <= 1 and executor is None:
+        return [point.execute() for point in points]
+    results: Dict[int, Any] = {}
+    if executor is not None:
+        futures = [executor.submit(_execute_point, point) for point in points]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, max(1, len(points)))) as pool:
+            futures = [pool.submit(_execute_point, point) for point in points]
+            # Consume inside the with-block so worker crashes surface
+            # here rather than as a BrokenProcessPool on exit.
+            for future in futures:
+                index, value = future.result()
+                results[index] = value
+            return [results[point.index] for point in points]
+    for future in futures:
+        index, value = future.result()
+        results[index] = value
+    return [results[point.index] for point in points]
+
+
+class Sweep:
+    """Declarative builder: add points, run them, merge the results.
+
+    >>> sweep = Sweep("fig0")
+    >>> for size in (4, 128):
+    ...     sweep.point(_one_size, label=f"size-{size}", size_kb=size)
+    >>> rows = sweep.run(jobs=4)      # == sweep.run(jobs=1), point order
+    """
+
+    def __init__(self, name: str, root_seed: int = 42):
+        self.name = name
+        self.root_seed = root_seed
+        self._points: List[SweepPoint] = []
+
+    def point(self, fn: Callable[..., Any], label: Optional[str] = None, **kwargs: Any) -> None:
+        """Declare the next point; ``label`` defaults to the kwargs."""
+        index = len(self._points)
+        if label is None:
+            label = ",".join(f"{k}={kwargs[k]}" for k in sorted(kwargs)) or str(index)
+        self._points.append(SweepPoint(index=index, label=label, fn=fn, kwargs=kwargs))
+
+    def seed_for(self, label: str) -> int:
+        return point_seed(self.root_seed, label)
+
+    @property
+    def points(self) -> List[SweepPoint]:
+        return list(self._points)
+
+    def run(self, jobs: int = 1) -> List[Any]:
+        return run_sweep(self._points, jobs=jobs)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sweep({self.name!r}, points={len(self._points)})"
+
+
+def sweep_axes(axes: Mapping[str, Iterable[Any]]) -> List[Dict[str, Any]]:
+    """Expand named axes into the cartesian product of point kwargs.
+
+    The product iterates in the axes' declared order with the last
+    axis varying fastest -- exactly the nested-loop order the serial
+    drivers used, so porting a driver to a sweep preserves its row
+    order.
+    """
+    names = list(axes)
+    combos = itertools.product(*(list(axes[name]) for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+# ----------------------------------------------------------------------
+# Reducers
+# ----------------------------------------------------------------------
+def merge_rows(results: Iterable[Any]) -> List[Any]:
+    """Concatenate per-point row lists in point order.
+
+    A point may return one row (a dict) or a list of rows; the merge
+    flattens one level so sweeps over multi-row points stay ordered.
+    """
+    rows: List[Any] = []
+    for result in results:
+        if isinstance(result, list):
+            rows.extend(result)
+        else:
+            rows.append(result)
+    return rows
+
+
+def merge_histograms(shards: Iterable[LatencyHistogram]) -> LatencyHistogram:
+    """Fold per-shard latency histograms into one (first shard's config)."""
+    merged: Optional[LatencyHistogram] = None
+    for shard in shards:
+        if merged is None:
+            merged = LatencyHistogram(shard.min_value, shard.max_value, shard._growth)
+        merged.merge(shard)
+    if merged is None:
+        raise ValueError("no histograms to merge")
+    return merged
+
+
+def merge_interval_series(shards: Iterable[IntervalSeries]) -> IntervalSeries:
+    """Fold per-shard interval series into one (sum/mean modes)."""
+    merged: Optional[IntervalSeries] = None
+    for shard in shards:
+        if merged is None:
+            merged = IntervalSeries(shard.window_us, shard.mode)
+        merged.merge(shard)
+    if merged is None:
+        raise ValueError("no series to merge")
+    return merged
+
+
+def merge_timelines(shards: Iterable[PercentileTimeline]) -> PercentileTimeline:
+    """Fold per-shard percentile timelines into one."""
+    merged: Optional[PercentileTimeline] = None
+    for shard in shards:
+        if merged is None:
+            merged = PercentileTimeline(
+                shard.window_us, shard._min_value, shard._max_value
+            )
+        merged.merge(shard)
+    if merged is None:
+        raise ValueError("no timelines to merge")
+    return merged

@@ -50,6 +50,27 @@ class PercentileTimeline:
         """Several percentile series in one pass."""
         return {pct: self.series(pct) for pct in pcts}
 
+    def merge(self, other: "PercentileTimeline") -> None:
+        """Fold another timeline (same window and range) into this one.
+
+        Window histograms merge exactly, so merging shards of a
+        partitioned observation stream equals the timeline of the
+        concatenated stream -- the property the parallel sweep runner
+        relies on.
+        """
+        if (
+            other.window_us != self.window_us
+            or other._min_value != self._min_value
+            or other._max_value != self._max_value
+        ):
+            raise ValueError("cannot merge timelines with different configurations")
+        for index, histogram in other._windows.items():
+            mine = self._windows.get(index)
+            if mine is None:
+                mine = LatencyHistogram(self._min_value, self._max_value)
+                self._windows[index] = mine
+            mine.merge(histogram)
+
     def total(self) -> LatencyHistogram:
         """All windows merged into one histogram."""
         merged = LatencyHistogram(self._min_value, self._max_value)

@@ -32,9 +32,9 @@ class NvmeStatus(enum.Enum):
 _command_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class NvmeCommand:
-    """One submission queue entry."""
+    """One submission queue entry.  Slotted: allocated once per IO."""
 
     opcode: NvmeOpcode
     nsid: int
@@ -53,9 +53,9 @@ class NvmeCommand:
         return self.nlb * 4096
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NvmeCompletion:
-    """One completion queue entry."""
+    """One completion queue entry.  Slotted: allocated once per IO."""
 
     cid: int
     status: NvmeStatus

@@ -16,12 +16,29 @@ are supported:
 Determinism: events that fire at the same timestamp execute in the
 order they were scheduled (a monotonically increasing sequence number
 breaks ties), so a run is fully reproducible given its RNG seeds.
+
+Performance: the heap stores plain ``[time, seq, fn, args, handle]``
+lists, not :class:`Event` objects, so sift comparisons run at C speed
+(``seq`` is unique, so ``fn`` is never compared).  Fired handles whose
+callers kept no reference are recycled through a free list, and the
+drain loop used when no probe is attached binds its hot state to
+locals.  Cancelled entries are removed lazily on pop; when more than
+half the heap is dead the heap is compacted in place.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Generator, Optional
+
+#: Upper bound on recycled Event handles kept around between fires.
+_FREE_LIST_CAP = 8192
+#: Lazy deletion is compacted away once at least this many cancelled
+#: entries linger in the heap *and* they outnumber the live ones.
+_COMPACT_MIN_DEAD = 512
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -29,36 +46,71 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """A scheduled callback.  Returned by :meth:`Simulator.schedule` so it can be cancelled."""
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule` so it can be cancelled.
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
+    The handle wraps the mutable heap entry ``[time, seq, fn, args,
+    handle]``; a ``fn`` of None in the entry marks it fired or
+    cancelled, which is what the drain loops skip on.
+    """
+
+    __slots__ = ("_entry", "_sim", "cancelled")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
+        self._entry: list = [time, seq, fn, args, None]
+        self._entry[4] = self
         self._sim: Optional["Simulator"] = None
+        self.cancelled = False
+
+    @property
+    def time(self) -> float:
+        return self._entry[0]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[1]
+
+    @property
+    def fn(self):
+        return self._entry[2]
+
+    @property
+    def args(self):
+        return self._entry[3]
 
     def cancel(self) -> None:
         """Prevent the event from running.  Safe to call more than once."""
         if self.cancelled:
             return
         self.cancelled = True
-        # Keep the owning simulator's live-event counter exact so
-        # ``Simulator.pending`` stays O(1); ``_sim`` is already None
-        # when the event has fired (cancelling then is a no-op).
         sim, self._sim = self._sim, None
-        if sim is not None:
-            sim._live -= 1
+        if sim is None:
+            return
+        entry = self._entry
+        if entry[2] is None:
+            # Already fired; cancelling afterwards is a no-op.
+            return
+        entry[2] = None
+        entry[3] = None
+        # Keep the owning simulator's live-event counter exact so
+        # ``Simulator.pending`` stays O(1); the dead entry itself is
+        # removed lazily (or by compaction, below).
+        sim._live -= 1
+        sim._dead += 1
+        if sim._dead >= _COMPACT_MIN_DEAD and sim._dead * 2 > len(sim._heap):
+            sim._compact()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"Event(t={self.time:.3f}us, {getattr(self.fn, '__name__', self.fn)}, {state})"
+        if self.cancelled:
+            state = "cancelled"
+        elif self._entry[2] is None:
+            state = "fired"
+        else:
+            state = "pending"
+        fn = self._entry[2]
+        return f"Event(t={self.time:.3f}us, {getattr(fn, '__name__', fn)}, {state})"
 
 
 class Waiter:
@@ -222,12 +274,29 @@ class Process:
 class Simulator:
     """The event loop: a clock plus a heap of pending events."""
 
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_running",
+        "_live",
+        "_dead",
+        "_free",
+        "tracer",
+        "probe",
+    )
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        #: Heap of ``[time, seq, fn, args, handle]`` entries.
+        self._heap: list = []
         self._seq = 0
         self._running = False
         self._live = 0
+        #: Cancelled entries still sitting in the heap (lazy deletion).
+        self._dead = 0
+        #: Recycled Event handles (with their entry lists) awaiting reuse.
+        self._free: list = []
         #: Optional observability hooks (see :mod:`repro.obs`).  Both
         #: default to None and every call site guards on that, so a
         #: simulator without observers pays only a None check.
@@ -248,17 +317,50 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay_us`` microseconds of simulated time."""
         if delay_us < 0:
             raise SimulationError(f"Cannot schedule {delay_us}us in the past")
-        return self.at(self.now + delay_us, fn, *args)
+        time_us = self.now + delay_us
+        seq = self._seq = self._seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.cancelled = False
+            event._sim = self
+            entry = event._entry
+            entry[0] = time_us
+            entry[1] = seq
+            entry[2] = fn
+            entry[3] = args
+        else:
+            event = Event(time_us, seq, fn, args)
+            event._sim = self
+            entry = event._entry
+        self._live += 1
+        heappush(self._heap, entry)
+        probe = self.probe
+        if probe is not None and len(self._heap) > probe.heap_high_water:
+            probe.heap_high_water = len(self._heap)
+        return event
 
     def at(self, time_us: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn(*args)`` at absolute simulated time ``time_us``."""
         if time_us < self.now:
             raise SimulationError(f"Cannot schedule at t={time_us} before now={self.now}")
-        self._seq += 1
-        event = Event(time_us, self._seq, fn, args)
-        event._sim = self
+        seq = self._seq = self._seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.cancelled = False
+            event._sim = self
+            entry = event._entry
+            entry[0] = time_us
+            entry[1] = seq
+            entry[2] = fn
+            entry[3] = args
+        else:
+            event = Event(time_us, seq, fn, args)
+            event._sim = self
+            entry = event._entry
         self._live += 1
-        heapq.heappush(self._heap, event)
+        heappush(self._heap, entry)
         probe = self.probe
         if probe is not None and len(self._heap) > probe.heap_high_water:
             probe.heap_high_water = len(self._heap)
@@ -285,11 +387,27 @@ class Simulator:
             raise SimulationError("Simulator.step() is not reentrant")
         self._running = True
         try:
-            while self._heap:
-                event = heapq.heappop(self._heap)
-                if event.cancelled:
+            heap = self._heap
+            while heap:
+                entry = heappop(heap)
+                fn = entry[2]
+                if fn is None:
+                    self._dead -= 1
                     continue
-                self._fire(event)
+                args = entry[3]
+                # Mark fired *before* the callback so a late cancel (or
+                # a cancel after a callback exception) is a no-op.
+                entry[2] = None
+                entry[3] = None
+                self._live -= 1
+                self.now = entry[0]
+                probe = self.probe
+                if probe is not None:
+                    probe.count_fire(fn)
+                fn(*args)
+                event = entry[4]
+                if getrefcount(event) == 3 and len(self._free) < _FREE_LIST_CAP:
+                    self._free.append(event)
                 return True
             return False
         finally:
@@ -306,26 +424,46 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
-        fired = 0
         probe = self.probe
+        fired = 0
         if probe is not None:
             probe.begin_run(self.now)
         try:
-            while self._heap:
-                if max_events is not None and fired >= max_events:
-                    break
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until_us is not None and event.time > until_us:
-                    break
-                heapq.heappop(self._heap)
-                self._fire(event)
-                fired += 1
-            # Advance to the deadline here (not after the finally) so a
-            # callback exception leaves the clock at the failing event
-            # while the probe still accounts the full window on success.
+            if probe is None:
+                if max_events is None:
+                    self._drain_fast(until_us)
+                else:
+                    self._drain_counted(until_us, max_events)
+            else:
+                heap = self._heap
+                free = self._free
+                while heap:
+                    if max_events is not None and fired >= max_events:
+                        break
+                    entry = heap[0]
+                    fn = entry[2]
+                    if fn is None:
+                        heappop(heap)
+                        self._dead -= 1
+                        continue
+                    if until_us is not None and entry[0] > until_us:
+                        break
+                    heappop(heap)
+                    args = entry[3]
+                    entry[2] = None
+                    entry[3] = None
+                    self._live -= 1
+                    self.now = entry[0]
+                    probe.count_fire(fn)
+                    fn(*args)
+                    event = entry[4]
+                    if getrefcount(event) == 3 and len(free) < _FREE_LIST_CAP:
+                        free.append(event)
+                    fired += 1
+            # Advance to the deadline inside the try (not in the
+            # finally) so a callback exception leaves the clock at the
+            # failing event while the probe still accounts the full
+            # window on success.
             if until_us is not None and self.now < until_us:
                 self.now = until_us
         finally:
@@ -334,15 +472,77 @@ class Simulator:
                 probe.end_run(self.now, fired)
         return self.now
 
-    def _fire(self, event: Event) -> None:
-        """Advance the clock to ``event`` and execute its callback."""
-        event._sim = None
-        self._live -= 1
-        self.now = event.time
-        probe = self.probe
-        if probe is not None:
-            probe.count_fire(event.fn)
-        event.fn(*event.args)
+    def _drain_fast(self, until_us: Optional[float]) -> None:
+        """The hot loop: no probe, no event cap, locals bound."""
+        heap = self._heap
+        free = self._free
+        refcount = getrefcount
+        until = _INF if until_us is None else until_us
+        while heap:
+            entry = heap[0]
+            fn = entry[2]
+            if fn is None:
+                heappop(heap)
+                self._dead -= 1
+                continue
+            time_us = entry[0]
+            if time_us > until:
+                break
+            heappop(heap)
+            args = entry[3]
+            entry[2] = None
+            entry[3] = None
+            self._live -= 1
+            self.now = time_us
+            fn(*args)
+            event = entry[4]
+            # Recycle the handle only when the scheduler's caller kept
+            # no reference (the three counted refs are the entry's
+            # back-pointer, the local, and getrefcount's argument), so
+            # a held handle can never alias a later event.
+            if refcount(event) == 3 and len(free) < _FREE_LIST_CAP:
+                free.append(event)
+
+    def _drain_counted(self, until_us: Optional[float], max_events: int) -> None:
+        """Like :meth:`_drain_fast` but stops after ``max_events`` fires."""
+        heap = self._heap
+        free = self._free
+        refcount = getrefcount
+        until = _INF if until_us is None else until_us
+        remaining = max_events
+        while heap and remaining > 0:
+            entry = heap[0]
+            fn = entry[2]
+            if fn is None:
+                heappop(heap)
+                self._dead -= 1
+                continue
+            time_us = entry[0]
+            if time_us > until:
+                break
+            heappop(heap)
+            args = entry[3]
+            entry[2] = None
+            entry[3] = None
+            self._live -= 1
+            self.now = time_us
+            fn(*args)
+            event = entry[4]
+            if refcount(event) == 3 and len(free) < _FREE_LIST_CAP:
+                free.append(event)
+            remaining -= 1
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place matters: the drain loops alias ``self._heap`` in a
+        local, so compaction triggered by a ``cancel()`` inside a
+        running callback must mutate the same list object.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if entry[2] is not None]
+        heapify(heap)
+        self._dead = 0
 
     @property
     def pending(self) -> int:

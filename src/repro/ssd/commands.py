@@ -38,13 +38,15 @@ class IoOp(enum.Enum):
 _command_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class DeviceCommand:
     """One read or write command against an SSD.
 
     ``tag`` is an opaque caller cookie (the fabric layer stores its
     request context there).  ``submit_time``/``complete_time`` are
     stamped by the device and are what the latency monitors consume.
+    Slotted: one is allocated per device IO, so the dict-free layout
+    matters on the hot path.
     """
 
     op: IoOp

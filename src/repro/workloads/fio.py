@@ -27,7 +27,7 @@ from repro.ssd.commands import IoOp
 from repro.workloads.patterns import AddressRegion, RandomPattern, SequentialPattern
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FioSpec:
     """One worker's workload definition."""
 

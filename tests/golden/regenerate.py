@@ -1,0 +1,48 @@
+"""Regenerate the golden-figure JSON files.
+
+Run after an *intentional* behaviour change (new scheduler logic, new
+seed derivation, retuned device profile) and commit the diff::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+The configs here are the single source of truth -- the golden tests
+import them, so the test always runs exactly what the files record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+#: Small fixed-window, fixed-seed configs: big enough for stable
+#: qualitative shape, small enough for tier-1 runtime.
+GOLDEN_CONFIGS = {
+    "fig02": {"measure_us": 20_000.0},
+    "fig07": {
+        "measure_us": 30_000.0,
+        "warmup_us": 15_000.0,
+        "workers_per_class": 2,
+        "standalone_measure_us": 100_000.0,
+    },
+    "table1": {"measure_us": 20_000.0},
+}
+
+
+def main() -> None:
+    from repro.harness.experiments import fig02_unloaded_latency as fig02
+    from repro.harness.experiments import fig07_fairness as fig07
+    from repro.harness.experiments import table1_overheads as table1
+
+    modules = {"fig02": fig02, "fig07": fig07, "table1": table1}
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    for name, kwargs in GOLDEN_CONFIGS.items():
+        results = modules[name].run(**kwargs)
+        path = DATA_DIR / f"{name}.json"
+        path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

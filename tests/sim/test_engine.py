@@ -367,6 +367,110 @@ class TestProcessWaiterDetach:
         assert waiter._process is owner
 
 
+class TestLazyDeletion:
+    """Regression: interleaving Event.cancel() with bounded runs must
+    keep the O(1) ``pending`` counter exactly equal to the heap's live
+    ground truth (cancelled entries are removed lazily on pop or by
+    compaction, and must be accounted exactly once)."""
+
+    @staticmethod
+    def _ground_truth(sim):
+        return sum(1 for e in sim._heap if e[2] is not None)
+
+    def test_cancel_interleaved_with_bounded_runs(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(40)]
+        for deadline in (5.0, 10.0, 15.0, 20.0):
+            # Cancel a mix of already-fired, in-window and future events.
+            for index in (int(deadline) - 3, int(deadline) + 2, int(deadline) + 11):
+                if 0 <= index < len(events):
+                    events[index].cancel()
+            sim.run(until_us=deadline)
+            assert sim.pending == self._ground_truth(sim)
+        sim.run()
+        assert sim.pending == 0
+        assert sim._dead == 0
+
+    def test_cancel_from_inside_callback_keeps_pending_exact(self, sim):
+        events = []
+
+        def cancel_some():
+            for event in events[10:20]:
+                event.cancel()
+
+        events.extend(sim.schedule(float(i + 5), lambda: None) for i in range(30))
+        sim.schedule(1.0, cancel_some)
+        sim.run(until_us=2.0)
+        assert sim.pending == self._ground_truth(sim)
+        sim.run()
+        assert sim.pending == 0
+
+    def test_double_cancel_during_run_decrements_once(self, sim):
+        target = sim.schedule(50.0, lambda: None)
+        sim.schedule(1.0, target.cancel)
+        sim.schedule(2.0, target.cancel)
+        sim.schedule(60.0, lambda: None)
+        sim.run(until_us=10.0)
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_mass_cancellation_compacts_heap(self, sim):
+        keep = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        drop = [sim.schedule(1000.0 + i, lambda: None) for i in range(2000)]
+        for event in drop:
+            event.cancel()
+        # Compaction kicked in once the dead entries outnumbered the
+        # live ones: far fewer than the 2000 cancelled entries linger,
+        # and the residue stays below the compaction trigger.
+        assert len(sim._heap) < len(keep) + 600
+        assert sim._dead < 512
+        assert sim.pending == 10
+        assert sim.pending == self._ground_truth(sim)
+        fired = []
+        sim.schedule(0.5, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+        assert sim.pending == 0
+
+
+class TestFreeList:
+    def test_fired_events_are_recycled_when_unreferenced(self, sim):
+        for i in range(50):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert len(sim._free) > 0
+        recycled = sim._free[-1]
+        again = sim.schedule(1.0, lambda: None)
+        assert again is recycled
+
+    def test_held_handles_are_never_recycled(self, sim):
+        held = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert held not in sim._free
+        # A late cancel through the held handle stays a no-op.
+        held.cancel()
+        assert sim.pending == 0
+
+    def test_recycled_events_fire_correctly(self, sim):
+        order = []
+        for i in range(20):
+            sim.schedule(float(i), order.append, i)
+        sim.run()
+        for i in range(20):
+            sim.schedule(float(i), order.append, 100 + i)
+        sim.run()
+        assert order == list(range(20)) + [100 + i for i in range(20)]
+
+    def test_cancel_of_reused_handle_targets_new_event(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert len(sim._free) == 1
+        handle = sim.schedule(5.0, lambda: None)
+        assert sim.pending == 1
+        handle.cancel()
+        assert sim.pending == 0
+
+
 class TestReentrancy:
     def test_step_inside_callback_raises(self, sim):
         errors = []
@@ -439,13 +543,15 @@ class TestPendingCounter:
         assert sim.pending == 0
 
     def test_pending_matches_heap_ground_truth(self, sim):
+        # Heap entries are [time, seq, fn, args, handle] lists; a fn of
+        # None marks a dead (cancelled) entry awaiting lazy deletion.
         events = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
         for event in events[::3]:
             event.cancel()
-        ground_truth = sum(1 for e in sim._heap if not e.cancelled)
+        ground_truth = sum(1 for e in sim._heap if e[2] is not None)
         assert sim.pending == ground_truth
         sim.run(max_events=5)
-        ground_truth = sum(1 for e in sim._heap if not e.cancelled)
+        ground_truth = sum(1 for e in sim._heap if e[2] is not None)
         assert sim.pending == ground_truth
         sim.run()
         assert sim.pending == 0
