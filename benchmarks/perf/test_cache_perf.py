@@ -1,0 +1,87 @@
+"""Result-cache benchmark and regression gate: cold vs warm sweeps.
+
+Runs the Figure 2 sweep at the golden-test configuration twice against
+a fresh cache directory -- once cold (every point simulated and
+stored), once warm (every point served from disk) -- then:
+
+* writes ``BENCH_cache.json`` at the repo root with both wall times,
+  the warm/cold speedup, and the hit/miss counters;
+* asserts the warm run returned byte-identical results;
+* fails if the warm speedup regressed below the floor derived from
+  ``benchmarks/perf/BASELINE.json``.
+
+As with the kernel gate, a ratio is gated rather than raw seconds: a
+slower machine slows the cold simulation and the warm JSON reads
+together, and the cold leg (seconds of simulation vs milliseconds of
+disk reads) dominates the ratio on any hardware.
+
+Quick mode (``REPRO_PERF_QUICK=1``) shrinks the measurement window for
+CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.harness.cache import ResultCache
+from repro.harness.experiments import fig02_unloaded_latency as fig02
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = Path(__file__).resolve().parent / "BASELINE.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_cache.json"
+
+QUICK = os.environ.get("REPRO_PERF_QUICK", "") not in ("", "0")
+MEASURE_US = 10_000.0 if QUICK else 20_000.0
+REGRESSION_TOLERANCE = 0.75
+
+
+def test_cache_cold_vs_warm():
+    workdir = tempfile.mkdtemp(prefix="repro-cache-bench-")
+    try:
+        cache = ResultCache(Path(workdir) / "cache")
+
+        start = time.perf_counter()
+        cold = fig02.run(measure_us=MEASURE_US, cache=cache)
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = fig02.run(measure_us=MEASURE_US, cache=cache)
+        warm_s = time.perf_counter() - start
+
+        speedup = cold_s / max(warm_s, 1e-9)
+        report = {
+            "suite": "cache",
+            "quick": QUICK,
+            "measure_us": MEASURE_US,
+            "points": cache.stats.misses,
+            "cold_wall_seconds": round(cold_s, 3),
+            "warm_wall_seconds": round(warm_s, 4),
+            "warm_speedup": round(speedup, 1),
+            "hits": cache.stats.hits,
+            "misses": cache.stats.misses,
+            "bytes_written": cache.stats.bytes_written,
+            "bytes_read": cache.stats.bytes_read,
+            "seconds_saved": round(cache.stats.seconds_saved, 3),
+        }
+        OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print()
+        print(json.dumps(report, indent=2))
+
+        # Warm must replay the cold run exactly, from cache alone.
+        assert json.dumps(warm, sort_keys=True) == json.dumps(cold, sort_keys=True)
+        assert cache.stats.hits == cache.stats.misses > 0
+
+        committed = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        reference = committed["cache"]["warm_speedup"]
+        floor = reference * (1.0 - REGRESSION_TOLERANCE)
+        assert speedup >= floor, (
+            f"warm-cache speedup regressed: measured {speedup:.1f}x vs committed "
+            f"{reference:.1f}x (floor {floor:.1f}x); see BENCH_cache.json"
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

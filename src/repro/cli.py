@@ -8,7 +8,9 @@ Commands:
 * ``calibrate`` -- measure the simulated device's anchor numbers
   against the paper's (Section 2.2);
 * ``simulate`` -- ad-hoc multi-tenant run: pick a scheme, a device
-  condition and a worker mix, get bandwidth/latency per tenant.
+  condition and a worker mix, get bandwidth/latency per tenant;
+* ``cache {stats,prune,clear}`` -- inspect or manage the sweep-point
+  result cache that ``run --cache`` (or ``REPRO_CACHE=1``) populates.
 """
 
 from __future__ import annotations
@@ -68,26 +70,65 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_from_args(args: argparse.Namespace):
+    """Map the ``--cache``/``--no-cache``/``--cache-dir`` flags to the
+    ``cache`` argument of a driver's ``run()``.
+
+    ``None`` defers to the ambient configuration (the ``REPRO_CACHE``
+    environment toggle); ``False`` disables caching outright.
+    """
+    if args.no_cache:
+        return False
+    if args.cache or args.cache_dir:
+        from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
+
+        return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    return None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    import inspect
+
     name = _resolve_experiment(args.experiment)
     if name is None:
         print(f"unknown experiment {args.experiment!r}; try: python -m repro list", file=sys.stderr)
         return 2
     module, quick_kwargs = _load(name)
     kwargs = dict(quick_kwargs) if args.quick else {}
+    run_params = inspect.signature(module.run).parameters
     if args.jobs != 1:
-        import inspect
-
-        if "jobs" in inspect.signature(module.run).parameters:
+        if "jobs" in run_params:
             kwargs["jobs"] = args.jobs
         else:
             print(
                 f"note: {name} does not support --jobs; running serially",
                 file=sys.stderr,
             )
+    cache = _cache_from_args(args)
+    if "cache" in run_params:
+        kwargs["cache"] = cache
+    elif cache not in (None, False):
+        print(
+            f"note: {name} does not support --cache; running uncached",
+            file=sys.stderr,
+        )
+        cache = None
+
+    def report_cache() -> None:
+        store = cache if cache not in (None, False) else None
+        if store is None:
+            return
+        stats = store.stats
+        print(
+            f"cache: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.seconds_saved:.1f}s saved ({store.root})",
+            file=sys.stderr,
+        )
+
     if not args.trace and not args.stats:
         results = module.run(**kwargs)
         print(module.summarize(results))
+        report_cache()
         return 0
     from repro import obs
 
@@ -112,7 +153,69 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"`python -m repro.obs.report {args.trace}`",
             file=sys.stderr,
         )
+    report_cache()
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache {stats,prune,clear}`` -- manage the result cache."""
+    import json
+
+    from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
+
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.cache_command == "stats":
+        entries = cache.entries()
+        total_bytes = sum(entry["size_bytes"] for entry in entries)
+        stored_seconds = sum(entry["elapsed_s"] for entry in entries)
+        by_fn: Dict[str, int] = {}
+        for entry in entries:
+            by_fn[entry["fn"]] = by_fn.get(entry["fn"], 0) + 1
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "cache_dir": str(cache.root),
+                        "entries": len(entries),
+                        "total_bytes": total_bytes,
+                        "stored_compute_seconds": round(stored_seconds, 3),
+                        "by_fn": by_fn,
+                        "runs": cache.read_journal(),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        print(f"cache dir : {cache.root}")
+        print(f"entries   : {len(entries)}")
+        print(f"size      : {total_bytes / 1024.0:.1f} KiB")
+        print(f"stored    : {stored_seconds:.1f}s of compute")
+        for fn, count in sorted(by_fn.items()):
+            print(f"  {fn}  x{count}")
+        runs = cache.read_journal()
+        if runs:
+            tail = runs[-5:]
+            print(f"last {len(tail)} runs:")
+            for record in tail:
+                print(
+                    f"  {record.get('sweep', '?'):10s} "
+                    f"hits={record.get('hits', 0)} misses={record.get('misses', 0)} "
+                    f"saved={record.get('seconds_saved', 0.0):.1f}s"
+                )
+        return 0
+    if args.cache_command == "prune":
+        removed = cache.prune(
+            max_bytes=int(args.max_mb * 1024 * 1024) if args.max_mb is not None else None,
+            max_entries=args.max_entries,
+        )
+        print(f"pruned {removed} entries from {cache.root}")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.root}")
+        return 0
+    return 2
 
 
 def cmd_calibrate(args: argparse.Namespace) -> int:
@@ -265,6 +368,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print registry counters and kernel probe stats after the run",
     )
+    run_parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse cached sweep-point results and cache fresh ones "
+        "(content-addressed; invalidated by code or parameter changes)",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even if REPRO_CACHE is set",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default .repro-cache; implies --cache)",
+    )
     run_parser.set_defaults(fn=cmd_run)
 
     calibrate_parser = sub.add_parser("calibrate", help="measure device anchor numbers")
@@ -282,6 +402,28 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--seconds", type=float, default=1.0)
     simulate_parser.add_argument("--seed", type=int, default=42)
     simulate_parser.set_defaults(fn=cmd_simulate)
+
+    cache_parser = sub.add_parser("cache", help="inspect or manage the sweep result cache")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    stats_parser = cache_sub.add_parser("stats", help="entry counts, sizes and recent runs")
+    stats_parser.add_argument("--cache-dir", metavar="DIR", default=None)
+    stats_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    prune_parser = cache_sub.add_parser(
+        "prune", help="evict least-recently-used entries beyond the limits"
+    )
+    prune_parser.add_argument("--cache-dir", metavar="DIR", default=None)
+    prune_parser.add_argument(
+        "--max-mb",
+        type=float,
+        default=512.0,
+        help="keep at most this many MiB of entries (default 512)",
+    )
+    prune_parser.add_argument(
+        "--max-entries", type=int, default=None, help="keep at most this many entries"
+    )
+    clear_parser = cache_sub.add_parser("clear", help="delete every cached entry")
+    clear_parser.add_argument("--cache-dir", metavar="DIR", default=None)
+    cache_parser.set_defaults(fn=cmd_cache)
     return parser
 
 

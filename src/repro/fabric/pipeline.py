@@ -217,15 +217,23 @@ class SsdPipeline:
             self.stats.reads += 1
             self.stats.read_bytes += request.size_bytes
             wire_bytes = request.size_bytes + RESPONSE_CAPSULE_BYTES
+            payload_bytes = request.size_bytes
         elif request.op.is_trim:
+            # Deallocate moves no payload: counting its nominal LBA
+            # range would inflate the tenant's throughput attribution.
             self.stats.trims += 1
             wire_bytes = RESPONSE_CAPSULE_BYTES
+            payload_bytes = 0
         else:
             self.stats.writes += 1
             self.stats.write_bytes += request.size_bytes
             wire_bytes = RESPONSE_CAPSULE_BYTES
-        per_tenant = self.stats.by_tenant_bytes
-        per_tenant[request.tenant_id] = per_tenant.get(request.tenant_id, 0) + request.size_bytes
+            payload_bytes = request.size_bytes
+        if payload_bytes:
+            per_tenant = self.stats.by_tenant_bytes
+            per_tenant[request.tenant_id] = (
+                per_tenant.get(request.tenant_id, 0) + payload_bytes
+            )
         reply = self._reply_routes.pop(request.request_id)
         self.network.send(self.port, wire_bytes, reply, request)
 

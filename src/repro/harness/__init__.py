@@ -7,6 +7,7 @@ under :mod:`repro.harness.experiments` each regenerate one table or
 figure of the paper and are what the benchmark suite calls.
 """
 
+from repro.harness.cache import ResultCache, resolve_cache
 from repro.harness.parallel import (
     Sweep,
     SweepPoint,
@@ -25,6 +26,8 @@ __all__ = [
     "Testbed",
     "TestbedConfig",
     "SCHEMES",
+    "ResultCache",
+    "resolve_cache",
     "format_table",
     "format_series",
     "Sweep",

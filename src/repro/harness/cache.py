@@ -1,0 +1,611 @@
+"""Content-addressed on-disk cache for sweep-point results.
+
+Reproducing the paper means re-running the same figure sweeps over and
+over while only a few points change: a scheduler tweak re-runs fig07,
+not fig02.  Every :class:`~repro.harness.parallel.SweepPoint` is a pure
+function of ``(fn, kwargs, seed)`` by the determinism contract, so its
+result is cacheable by construction.  This module stores those results
+on disk, keyed by a fingerprint of
+
+* the point function's fully qualified name,
+* its canonicalised keyword arguments (the derived per-point seed is
+  one of them),
+* a *code fingerprint* -- a hash over the sources of every module the
+  point function transitively imports from the instrumented packages
+  (``repro.*`` plus the function's own top-level package), and
+* the result-schema version.
+
+Editing ``src/repro/core/scheduler.py`` therefore invalidates exactly
+the points whose drivers transitively import it; sweeps that never
+touch the scheduler stay warm.  Imports are discovered statically (via
+``ast``) so the fingerprint never depends on import order or runtime
+state, and per-module source hashes are memoised on ``(path, mtime,
+size)`` so a warm lookup costs stat calls, not file reads.
+
+Entries are JSON files named ``<fingerprint>.json`` under the cache
+root (default ``.repro-cache/``).  Writes go to a unique temporary file
+in the same directory followed by :func:`os.replace`, so concurrent
+runs sharing a cache directory can race on the same entry and readers
+still never observe a torn file.  Hits refresh the entry's mtime, which
+is what ``prune()``'s LRU ordering evicts on.
+
+The cache is off unless asked for: pass ``cache=...`` to
+:func:`repro.harness.parallel.run_sweep` / ``Sweep.run``, use the CLI's
+``--cache`` / ``--cache-dir`` flags, or set ``REPRO_CACHE=1`` (and
+optionally ``REPRO_CACHE_DIR``) in the environment.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+#: Bump when the stored entry layout (or the meaning of results)
+#: changes; old entries simply stop matching.
+SCHEMA_VERSION = 1
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Environment toggles for ambient (no-code-change) caching.
+ENV_ENABLE = "REPRO_CACHE"
+ENV_DIR = "REPRO_CACHE_DIR"
+
+#: Name of the per-cache-directory run journal (one JSON line per
+#: cached sweep execution).
+JOURNAL_NAME = "journal.jsonl"
+
+
+class Uncacheable(TypeError):
+    """Raised when a point's kwargs or result cannot be canonicalised."""
+
+
+# ----------------------------------------------------------------------
+# Canonicalisation
+# ----------------------------------------------------------------------
+def canonical_value(value: Any) -> Any:
+    """Reduce ``value`` to a canonical JSON-representable form.
+
+    Tuples become lists, dict keys must be strings and are emitted in
+    sorted order; anything outside the JSON-primitive universe raises
+    :class:`Uncacheable` (such points simply bypass the cache).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if isinstance(value, dict):
+        out = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise Uncacheable(f"non-string dict key {key!r}")
+            out[key] = canonical_value(value[key])
+        return out
+    raise Uncacheable(f"value of type {type(value).__name__} is not cacheable")
+
+
+# ----------------------------------------------------------------------
+# Code fingerprinting
+# ----------------------------------------------------------------------
+# (path, mtime_ns, size) -> sha256 hexdigest of the file's bytes.
+_source_hash_memo: Dict[Tuple[str, int, int], str] = {}
+# (path, mtime_ns, size) -> frozenset of absolute module names the
+# file's import statements mention (unfiltered).
+_import_memo: Dict[Tuple[str, int, int], FrozenSet[str]] = {}
+# module name -> (source path or None, is_package); resolution is
+# stable for the life of the process.
+_module_file_memo: Dict[str, Tuple[Optional[str], bool]] = {}
+
+
+def clear_fingerprint_caches() -> None:
+    """Drop the per-process memo tables (used by tests)."""
+    _source_hash_memo.clear()
+    _import_memo.clear()
+    _module_file_memo.clear()
+
+
+def _file_state(path: str) -> Optional[Tuple[str, int, int]]:
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return None
+    return (path, stat.st_mtime_ns, stat.st_size)
+
+
+def _source_hash(path: str) -> Optional[str]:
+    state = _file_state(path)
+    if state is None:
+        return None
+    cached = _source_hash_memo.get(state)
+    if cached is None:
+        try:
+            with open(path, "rb") as handle:
+                cached = hashlib.sha256(handle.read()).hexdigest()
+        except OSError:
+            return None
+        _source_hash_memo[state] = cached
+    return cached
+
+
+def _module_file(name: str) -> Tuple[Optional[str], bool]:
+    """Resolve a module name to ``(source path, is_package)``.
+
+    Returns ``(None, False)`` for names that are not importable modules
+    with Python source (attributes, extension modules, builtins).
+    """
+    cached = _module_file_memo.get(name)
+    if cached is not None:
+        return cached
+    import importlib.util
+
+    try:
+        spec = importlib.util.find_spec(name)
+    except (ImportError, AttributeError, ValueError):
+        spec = None
+    if spec is None or spec.origin is None or not spec.origin.endswith(".py"):
+        result: Tuple[Optional[str], bool] = (None, False)
+    else:
+        result = (spec.origin, bool(spec.submodule_search_locations))
+    _module_file_memo[name] = result
+    return result
+
+
+def _imports_of(path: str, package: str) -> FrozenSet[str]:
+    """Absolute module names mentioned by ``path``'s import statements.
+
+    ``from X import y`` contributes both ``X`` and ``X.y`` (``y`` may be
+    a submodule or a mere attribute; non-modules are filtered out later
+    by :func:`_module_file`).  Relative imports are resolved against
+    ``package``.
+    """
+    state = _file_state(path)
+    if state is None:
+        return frozenset()
+    cached = _import_memo.get(state)
+    if cached is not None:
+        return cached
+    names: Set[str] = set()
+    try:
+        with open(path, "rb") as handle:
+            tree = ast.parse(handle.read())
+    except (OSError, SyntaxError):
+        _import_memo[state] = frozenset()
+        return frozenset()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                parts = package.split(".") if package else []
+                if node.level - 1 > len(parts):
+                    continue
+                kept = parts[: len(parts) - (node.level - 1)]
+                base = ".".join(kept)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            if not base:
+                continue
+            names.add(base)
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(f"{base}.{alias.name}")
+    frozen = frozenset(names)
+    _import_memo[state] = frozen
+    return frozen
+
+
+def _parents_of(name: str) -> List[str]:
+    parts = name.split(".")
+    return [".".join(parts[:i]) for i in range(1, len(parts))]
+
+
+def transitive_sources(
+    module_name: str, roots: FrozenSet[str]
+) -> Dict[str, Optional[str]]:
+    """Map every ``roots``-rooted module transitively imported by
+    ``module_name`` (including itself and parent packages) to the
+    sha256 of its source file."""
+    seen: Dict[str, Optional[str]] = {}
+    queue: List[str] = [module_name] + _parents_of(module_name)
+    while queue:
+        name = queue.pop()
+        if name in seen or name.partition(".")[0] not in roots:
+            continue
+        path, is_package = _module_file(name)
+        if path is None:
+            continue
+        seen[name] = _source_hash(path)
+        package = name if is_package else name.rpartition(".")[0]
+        for imported in _imports_of(path, package):
+            if imported.partition(".")[0] not in roots:
+                continue
+            if imported not in seen:
+                queue.append(imported)
+                for parent in _parents_of(imported):
+                    if parent not in seen:
+                        queue.append(parent)
+    return seen
+
+
+def code_fingerprint(fn: Callable[..., Any], roots: Optional[Set[str]] = None) -> str:
+    """Hash the transitive module sources ``fn`` depends on.
+
+    ``roots`` limits which top-level packages are followed; by default
+    the instrumented ``repro`` package plus ``fn``'s own top-level
+    package (so test-local point functions fingerprint correctly too).
+    """
+    module = getattr(fn, "__module__", "") or ""
+    if roots is None:
+        roots = {"repro"}
+        if module:
+            roots.add(module.partition(".")[0])
+    sources = transitive_sources(module, frozenset(roots))
+    digest = hashlib.sha256()
+    for name in sorted(sources):
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update((sources[name] or "missing").encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def point_fingerprint(
+    fn: Callable[..., Any],
+    kwargs: Dict[str, Any],
+    schema_version: int = SCHEMA_VERSION,
+    roots: Optional[Set[str]] = None,
+) -> Tuple[str, Dict[str, Any], str]:
+    """Content address of one sweep point.
+
+    Returns ``(fingerprint, canonical_kwargs, code_fingerprint)``;
+    raises :class:`Uncacheable` when the kwargs cannot be canonicalised
+    or the function has no resolvable module source.
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname:
+        raise Uncacheable(f"{fn!r} is not a module-level function")
+    canonical = canonical_value(kwargs)
+    code_fp = code_fingerprint(fn, roots=roots)
+    key_material = json.dumps(
+        {
+            "schema": schema_version,
+            "fn": f"{module}:{qualname}",
+            "kwargs": canonical,
+            "code": code_fp,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    fingerprint = hashlib.sha256(key_material.encode("utf-8")).hexdigest()
+    return fingerprint, canonical, code_fp
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Hit/miss/byte/seconds-saved counters for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    uncacheable: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    seconds_saved: float = 0.0
+
+    def snapshot(self) -> Dict[str, Union[int, float]]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def delta_since(self, before: Dict[str, Union[int, float]]) -> Dict[str, Union[int, float]]:
+        now = self.snapshot()
+        return {
+            key: round(now[key] - before[key], 6)
+            if isinstance(now[key], float)
+            else now[key] - before[key]
+            for key in now
+        }
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed JSON store for sweep-point results."""
+
+    def __init__(
+        self,
+        root: Union[str, Path] = DEFAULT_CACHE_DIR,
+        schema_version: int = SCHEMA_VERSION,
+        roots: Optional[Set[str]] = None,
+    ):
+        self.root = Path(root)
+        self.schema_version = schema_version
+        self.roots = roots
+        self.stats = CacheStats()
+        self._tmp_serial = 0
+
+    # -- keying --------------------------------------------------------
+    def _fingerprint(self, point) -> Optional[Tuple[str, Dict[str, Any], str]]:
+        try:
+            return point_fingerprint(
+                point.fn, point.kwargs, self.schema_version, roots=self.roots
+            )
+        except Uncacheable:
+            return None
+
+    def _entry_path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    # -- lookup / store ------------------------------------------------
+    def lookup(self, point) -> Tuple[bool, Any]:
+        """Return ``(hit, result)``; a miss returns ``(False, None)``."""
+        keyed = self._fingerprint(point)
+        if keyed is None:
+            self.stats.uncacheable += 1
+            return False, None
+        fingerprint, _, _ = keyed
+        path = self._entry_path(fingerprint)
+        try:
+            data = path.read_bytes()
+            entry = json.loads(data)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return False, None
+        if (
+            entry.get("schema") != self.schema_version
+            or entry.get("fingerprint") != fingerprint
+        ):
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(data)
+        self.stats.seconds_saved += float(entry.get("elapsed_s", 0.0))
+        try:
+            os.utime(path)  # refresh the mtime-LRU position
+        except OSError:
+            pass
+        return True, entry["result"]
+
+    def store(self, point, result: Any, elapsed_s: float) -> Any:
+        """Persist one computed result; returns the value the sweep
+        should merge.
+
+        The returned value is the stored result round-tripped through
+        JSON, so a run that writes the cache merges exactly what a
+        later warm run will read back -- warm and cold outputs are
+        byte-identical.  Unserialisable results are passed through
+        untouched (and simply never cached).
+        """
+        keyed = self._fingerprint(point)
+        if keyed is None:
+            self.stats.uncacheable += 1
+            return result
+        fingerprint, canonical_kwargs, code_fp = keyed
+        try:
+            result_json = json.dumps(result, sort_keys=False)
+        except (TypeError, ValueError):
+            self.stats.uncacheable += 1
+            return result
+        entry = {
+            "schema": self.schema_version,
+            "fingerprint": fingerprint,
+            "fn": f"{point.fn.__module__}:{point.fn.__qualname__}",
+            "label": getattr(point, "label", ""),
+            "kwargs": canonical_kwargs,
+            "code_fingerprint": code_fp,
+            "elapsed_s": round(float(elapsed_s), 6),
+            "saved_at": time.time(),
+            "result": json.loads(result_json),
+        }
+        data = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+        path = self._entry_path(fingerprint)
+        self._atomic_write(path, data)
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        return entry["result"]
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._tmp_serial += 1
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{self._tmp_serial}")
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    # -- journal -------------------------------------------------------
+    def record_run(self, name: Optional[str], delta: Dict[str, Union[int, float]]) -> None:
+        """Append one line to the cache-dir run journal and mirror the
+        counters into the active observability session (if any)."""
+        record = {"sweep": name or "", "at": round(time.time(), 3)}
+        record.update(delta)
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(self.root / JOURNAL_NAME, "ab") as handle:
+                handle.write(line)
+        except OSError:
+            pass
+        from repro.obs.session import current_session
+
+        session = current_session()
+        if session is None:
+            return
+        for key in ("hits", "misses", "writes", "uncacheable", "bytes_read", "bytes_written"):
+            amount = delta.get(key, 0)
+            if amount:
+                session.registry.counter(f"cache.{key}").inc(amount)
+        saved = delta.get("seconds_saved", 0.0)
+        if saved:
+            session.registry.counter("cache.seconds_saved").inc(saved)
+        if session.tracer is not None:
+            from repro.obs.trace import TraceType
+
+            session.tracer.emit(
+                TraceType.CACHE, 0.0, "harness.cache", sweep=name or "", **delta
+            )
+
+    def read_journal(self) -> List[dict]:
+        """The run journal as a list of dicts (empty when absent)."""
+        path = self.root / JOURNAL_NAME
+        records = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        records.append(json.loads(line))
+        except OSError:
+            pass
+        return records
+
+    # -- maintenance ---------------------------------------------------
+    def entries(self) -> List[dict]:
+        """Metadata for every entry: path, size, mtime, fn, elapsed."""
+        out = []
+        try:
+            paths = sorted(self.root.glob("*.json"))
+        except OSError:
+            return out
+        for path in paths:
+            try:
+                stat = path.stat()
+                entry = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                continue
+            out.append(
+                {
+                    "path": str(path),
+                    "fingerprint": entry["fingerprint"],
+                    "fn": entry.get("fn", "?"),
+                    "label": entry.get("label", ""),
+                    "elapsed_s": float(entry.get("elapsed_s", 0.0)),
+                    "size_bytes": stat.st_size,
+                    "mtime": stat.st_mtime,
+                }
+            )
+        return out
+
+    def total_bytes(self) -> int:
+        return sum(entry["size_bytes"] for entry in self.entries())
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> int:
+        """Evict least-recently-used entries (by mtime; hits refresh it)
+        until the cache fits both limits.  Returns the eviction count."""
+        entries = sorted(self.entries(), key=lambda entry: entry["mtime"])
+        total = sum(entry["size_bytes"] for entry in entries)
+        count = len(entries)
+        removed = 0
+        for entry in entries:
+            over_bytes = max_bytes is not None and total > max_bytes
+            over_count = max_entries is not None and count > max_entries
+            if not over_bytes and not over_count:
+                break
+            try:
+                os.unlink(entry["path"])
+            except OSError:
+                continue
+            total -= entry["size_bytes"]
+            count -= 1
+            removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry (and the journal). Returns entries removed."""
+        removed = 0
+        for entry in self.entries():
+            try:
+                os.unlink(entry["path"])
+                removed += 1
+            except OSError:
+                pass
+        try:
+            os.unlink(self.root / JOURNAL_NAME)
+        except OSError:
+            pass
+        return removed
+
+    # -- observability -------------------------------------------------
+    def register_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        prefix = prefix or "cache"
+        registry.gauge(f"{prefix}.hits", lambda: self.stats.hits)
+        registry.gauge(f"{prefix}.misses", lambda: self.stats.misses)
+        registry.gauge(f"{prefix}.writes", lambda: self.stats.writes)
+        registry.gauge(f"{prefix}.uncacheable", lambda: self.stats.uncacheable)
+        registry.gauge(f"{prefix}.bytes_read", lambda: self.stats.bytes_read)
+        registry.gauge(f"{prefix}.bytes_written", lambda: self.stats.bytes_written)
+        registry.gauge(f"{prefix}.seconds_saved", lambda: self.stats.seconds_saved)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self.root)!r}, stats={self.stats})"
+
+
+# ----------------------------------------------------------------------
+# Ambient configuration
+# ----------------------------------------------------------------------
+_configured: Optional[ResultCache] = None
+_env_cache: Optional[ResultCache] = None
+
+#: Accepted by ``run_sweep(cache=...)`` / ``Sweep.run(cache=...)``.
+CacheSpec = Union[None, bool, str, Path, ResultCache]
+
+
+def configure(cache: CacheSpec = None) -> Optional[ResultCache]:
+    """Install (or clear, with ``False``) the process-wide default cache."""
+    global _configured
+    if cache is False or cache is None:
+        _configured = None
+    else:
+        _configured = resolve_cache(cache)
+    return _configured
+
+
+def active_cache() -> Optional[ResultCache]:
+    """The ambient cache: explicit :func:`configure` wins, then the
+    ``REPRO_CACHE`` environment toggle, else None (caching off)."""
+    global _env_cache
+    if _configured is not None:
+        return _configured
+    if os.environ.get(ENV_ENABLE, "") in ("", "0"):
+        return None
+    directory = os.environ.get(ENV_DIR, "") or DEFAULT_CACHE_DIR
+    if _env_cache is None or str(_env_cache.root) != directory:
+        _env_cache = ResultCache(directory)
+    return _env_cache
+
+
+def resolve_cache(cache: CacheSpec) -> Optional[ResultCache]:
+    """Normalise a user-facing cache argument to a store (or None)."""
+    if cache is None:
+        return active_cache()
+    if cache is False:
+        return None
+    if cache is True:
+        return ResultCache(os.environ.get(ENV_DIR, "") or DEFAULT_CACHE_DIR)
+    if isinstance(cache, (str, Path)):
+        return ResultCache(cache)
+    if isinstance(cache, ResultCache):
+        return cache
+    raise TypeError(f"cannot interpret cache specification {cache!r}")

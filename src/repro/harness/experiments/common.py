@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 # Re-exported so drivers import their whole sweep API from one place.
+from repro.harness.cache import CacheSpec, ResultCache, resolve_cache  # noqa: F401
 from repro.harness.parallel import (
     Sweep,
     merge_rows,  # noqa: F401

@@ -50,7 +50,9 @@ def _point(host: str, size_kb: int, op: str, measure_us: float, seed: int) -> di
     }
 
 
-def run(measure_us: float = 300_000.0, jobs: int = 1, root_seed: int = 42) -> Dict[str, object]:
+def run(
+    measure_us: float = 300_000.0, jobs: int = 1, root_seed: int = 42, cache=None
+) -> Dict[str, object]:
     sweep = build_sweep(
         "fig02",
         {"host": ("server", "smartnic"), "size_kb": IO_SIZES_KB, "op": ("rnd-read", "seq-write")},
@@ -58,7 +60,7 @@ def run(measure_us: float = 300_000.0, jobs: int = 1, root_seed: int = 42) -> Di
         root_seed=root_seed,
         measure_us=measure_us,
     )
-    return {"figure": "2", "rows": merge_rows(sweep.run(jobs=jobs))}
+    return {"figure": "2", "rows": merge_rows(sweep.run(jobs=jobs, cache=cache))}
 
 
 def summarize(results: Dict[str, object]) -> str:

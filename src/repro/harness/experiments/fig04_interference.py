@@ -47,6 +47,7 @@ def run(
     condition: str = "clean",
     jobs: int = 1,
     root_seed: int = 42,
+    cache=None,
 ) -> Dict[str, object]:
     sweep = build_sweep(
         "fig04",
@@ -56,7 +57,11 @@ def run(
         condition=condition,
         measure_us=measure_us,
     )
-    return {"figure": "4", "condition": condition, "rows": merge_rows(sweep.run(jobs=jobs))}
+    return {
+        "figure": "4",
+        "condition": condition,
+        "rows": merge_rows(sweep.run(jobs=jobs, cache=cache)),
+    }
 
 
 def summarize(results: Dict[str, object]) -> str:

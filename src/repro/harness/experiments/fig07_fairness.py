@@ -103,6 +103,7 @@ def run(
     jobs: int = 1,
     root_seed: int = 42,
     standalone_measure_us: Optional[float] = None,
+    cache=None,
 ) -> Dict[str, object]:
     # Not build_sweep: the scheme axis is a run() parameter, so the
     # sweep is declared point by point to keep labels seed-stable.
@@ -121,7 +122,7 @@ def run(
                 seed=sweep.seed_for(label),
                 standalone_measure_us=standalone_measure_us,
             )
-    return {"figure": "7", "rows": merge_rows(sweep.run(jobs=jobs))}
+    return {"figure": "7", "rows": merge_rows(sweep.run(jobs=jobs, cache=cache))}
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -81,6 +81,7 @@ def run(
     read_ratios=READ_RATIOS,
     jobs: int = 1,
     root_seed: int = 42,
+    cache=None,
 ) -> Dict[str, object]:
     sweep = build_sweep(
         "fig14",
@@ -90,7 +91,7 @@ def run(
         queue_depth=queue_depth,
         duration_us=duration_us,
     )
-    return {"figure": "14", "rows": merge_rows(sweep.run(jobs=jobs))}
+    return {"figure": "14", "rows": merge_rows(sweep.run(jobs=jobs, cache=cache))}
 
 
 def summarize(results: Dict[str, object]) -> str:

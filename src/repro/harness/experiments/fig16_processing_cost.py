@@ -70,6 +70,7 @@ def run(
     added_costs=ADDED_COSTS_US,
     jobs: int = 1,
     root_seed: int = 42,
+    cache=None,
 ) -> Dict[str, object]:
     sweep = build_sweep(
         "fig16",
@@ -78,7 +79,7 @@ def run(
         root_seed=root_seed,
         measure_us=measure_us,
     )
-    return {"figure": "16", "rows": merge_rows(sweep.run(jobs=jobs))}
+    return {"figure": "16", "rows": merge_rows(sweep.run(jobs=jobs, cache=cache))}
 
 
 def summarize(results: Dict[str, object]) -> str:

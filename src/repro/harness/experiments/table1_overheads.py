@@ -66,7 +66,9 @@ def _null_iops_case(
     return sum(worker["iops"] for worker in results["workers"]) / 1000.0
 
 
-def run(measure_us: float = 200_000.0, jobs: int = 1, root_seed: int = 42) -> Dict[str, object]:
+def run(
+    measure_us: float = 200_000.0, jobs: int = 1, root_seed: int = 42, cache=None
+) -> Dict[str, object]:
     # Each (case, scheme) measurement is one sweep point; the
     # vanilla/gimbal pairing happens after the ordered results return.
     sweep = Sweep("table1", root_seed=root_seed)
@@ -94,7 +96,7 @@ def run(measure_us: float = 200_000.0, jobs: int = 1, root_seed: int = 42) -> Di
                 measure_us=measure_us,
                 seed=sweep.seed_for(point_label),
             )
-    results = sweep.run(jobs=jobs)
+    results = sweep.run(jobs=jobs, cache=cache)
 
     cycle_rows: List[dict] = []
     for case_index, (label, _queue_depth, _workers) in enumerate(CYCLE_CASES):

@@ -32,10 +32,12 @@ to, so single-threaded behaviour is unchanged.
 from __future__ import annotations
 
 import itertools
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.harness.cache import CacheSpec, ResultCache, resolve_cache
 from repro.metrics import IntervalSeries, LatencyHistogram, PercentileTimeline
 from repro.sim.rng import derive_seed
 
@@ -68,38 +70,79 @@ def _execute_point(point: SweepPoint):
     return point.index, point.execute()
 
 
+def _execute_point_timed(point: SweepPoint) -> Tuple[int, float, Any]:
+    """Like :func:`_execute_point`, but also reports wall time so the
+    cache can record how many seconds a future hit will save."""
+    start = time.perf_counter()
+    value = point.execute()
+    return point.index, time.perf_counter() - start, value
+
+
+def _execute_pending(
+    pending: Sequence[SweepPoint],
+    jobs: int,
+    executor: Optional[ProcessPoolExecutor],
+) -> List[Tuple[int, float, Any]]:
+    if jobs <= 1 and executor is None:
+        return [_execute_point_timed(point) for point in pending]
+    if executor is not None:
+        futures = [executor.submit(_execute_point_timed, point) for point in pending]
+        return [future.result() for future in futures]
+    with ProcessPoolExecutor(max_workers=min(jobs, max(1, len(pending)))) as pool:
+        futures = [pool.submit(_execute_point_timed, point) for point in pending]
+        # Consume inside the with-block so worker crashes surface here
+        # rather than as a BrokenProcessPool on exit.
+        return [future.result() for future in futures]
+
+
 def run_sweep(
     points: Sequence[SweepPoint],
     jobs: int = 1,
     executor: Optional[ProcessPoolExecutor] = None,
+    cache: CacheSpec = None,
+    name: Optional[str] = None,
 ) -> List[Any]:
     """Execute ``points`` and return their results in point order.
 
     ``jobs`` is the worker-process count; values <= 1 run serially
     in-process.  The returned list always lines up with ``points`` by
     index, regardless of completion order.
+
+    ``cache`` selects the result cache: ``None`` uses the ambient
+    configuration (:func:`repro.harness.cache.active_cache`, off unless
+    configured or ``REPRO_CACHE`` is set), ``False`` disables caching,
+    ``True``/a path/a :class:`~repro.harness.cache.ResultCache` enable
+    it.  Cached points are looked up before dispatch and computed
+    points are written back afterwards; the merge happens in declared
+    point order either way, so warm, cold and mixed runs produce
+    byte-identical results.
     """
     points = list(points)
     indices = [p.index for p in points]
     if len(set(indices)) != len(indices):
         raise ValueError("sweep points must have unique indices")
-    if jobs <= 1 and executor is None:
-        return [point.execute() for point in points]
+    store: Optional[ResultCache] = resolve_cache(cache)
     results: Dict[int, Any] = {}
-    if executor is not None:
-        futures = [executor.submit(_execute_point, point) for point in points]
+    if store is None:
+        pending = points
+        before = None
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, max(1, len(points)))) as pool:
-            futures = [pool.submit(_execute_point, point) for point in points]
-            # Consume inside the with-block so worker crashes surface
-            # here rather than as a BrokenProcessPool on exit.
-            for future in futures:
-                index, value = future.result()
-                results[index] = value
-            return [results[point.index] for point in points]
-    for future in futures:
-        index, value = future.result()
-        results[index] = value
+        before = store.stats.snapshot()
+        pending = []
+        for point in points:
+            hit, value = store.lookup(point)
+            if hit:
+                results[point.index] = value
+            else:
+                pending.append(point)
+    if pending:
+        by_index = {point.index: point for point in pending}
+        for index, elapsed, value in _execute_pending(pending, jobs, executor):
+            if store is not None:
+                value = store.store(by_index[index], value, elapsed)
+            results[index] = value
+    if store is not None and before is not None:
+        store.record_run(name, store.stats.delta_since(before))
     return [results[point.index] for point in points]
 
 
@@ -131,8 +174,8 @@ class Sweep:
     def points(self) -> List[SweepPoint]:
         return list(self._points)
 
-    def run(self, jobs: int = 1) -> List[Any]:
-        return run_sweep(self._points, jobs=jobs)
+    def run(self, jobs: int = 1, cache: CacheSpec = None) -> List[Any]:
+        return run_sweep(self._points, jobs=jobs, cache=cache, name=self.name)
 
     def __len__(self) -> int:
         return len(self._points)

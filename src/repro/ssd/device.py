@@ -24,11 +24,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Iterable, List, Optional, Tuple
 
 from repro.obs.trace import TraceType
 from repro.sim.engine import Simulator
-from repro.ssd.commands import DeviceCommand, IoOp
+from repro.ssd.commands import DeviceCommand
 from repro.ssd.ftl import Ftl
 from repro.ssd.geometry import SsdGeometry
 from repro.ssd.profiles import DCT983_PROFILE, DeviceProfile
@@ -204,8 +204,24 @@ class SsdDevice:
     def _admit_write(
         self, cmd: DeviceCommand, on_complete: CompletionCallback, admit_time: float
     ) -> None:
+        # Per-LPN loop below is the write hot path: hoist every
+        # attribute load (profile costs, horizon lists, tracer) into
+        # locals once, and keep ``lpns`` a range -- it is only ever
+        # iterated (here, by the buffer, and by the release callback),
+        # never indexed, so nothing needs materialising.
         profile = self.profile
-        lpns = list(range(cmd.lpn, cmd.lpn + cmd.npages))
+        t_prog_us = profile.t_prog_us
+        t_read_xfer_us = profile.t_read_xfer_us
+        t_erase_us = profile.t_erase_us
+        gc_installment_us = profile.gc_installment_us
+        gc_read_visible_fraction = profile.gc_read_visible_fraction
+        gc_debt_us = self._gc_debt_us
+        wr_horizon = self._wr_horizon
+        fg_horizon = self._fg_horizon
+        write_page = self.ftl.write_page
+        channel_of_page = self.geometry.channel_of_page
+        tracer = self.sim.tracer
+        lpns = range(cmd.lpn, cmd.lpn + cmd.npages)
         self.buffer.admit(lpns)
         # The host sees the write complete once it is safely buffered;
         # admission (and therefore host-visible write latency) backs up
@@ -215,16 +231,15 @@ class SsdDevice:
         self._finalize(cmd, on_complete, admit_time + profile.t_buf_write_us)
         last_program_done = admit_time
         for lpn in lpns:
-            ppn, work = self.ftl.write_page(lpn)
-            channel = self.geometry.channel_of_page(ppn)
+            ppn, work = write_page(lpn)
+            channel = channel_of_page(ppn)
             if not work.empty:
                 gc_busy_us = (
-                    work.relocation_reads * profile.t_read_xfer_us
-                    + work.relocation_programs * profile.t_prog_us
-                    + work.erases * profile.t_erase_us
+                    work.relocation_reads * t_read_xfer_us
+                    + work.relocation_programs * t_prog_us
+                    + work.erases * t_erase_us
                 )
-                self._gc_debt_us[channel] += gc_busy_us
-                tracer = self.sim.tracer
+                gc_debt_us[channel] += gc_busy_us
                 if tracer is not None:
                     # The FTL collects synchronously and the device
                     # charges the busy time as channel debt, so GC
@@ -245,34 +260,34 @@ class SsdDevice:
                         self.sim.now,
                         f"ssd.{self.name}",
                         channel=channel,
-                        drains_at_us=self.sim.now + self._gc_debt_us[channel],
+                        drains_at_us=self.sim.now + gc_debt_us[channel],
                     )
-            channel_start = max(
-                admit_time, self._wr_horizon[channel], self._fg_horizon[channel]
-            )
+            wr_before = wr_horizon[channel]
+            channel_start = max(admit_time, wr_before, fg_horizon[channel])
             # Garbage collection runs opportunistically: debt retired
             # while the write path sat idle is invisible to foreground
             # latency (background GC); only the remainder is charged to
             # this program, in bounded installments.
-            idle_gap = channel_start - self._wr_horizon[channel]
-            if idle_gap > 0 and self._gc_debt_us[channel] > 0:
-                self._gc_debt_us[channel] = max(0.0, self._gc_debt_us[channel] - idle_gap)
-            debt_installment = min(self._gc_debt_us[channel], profile.gc_installment_us)
-            self._gc_debt_us[channel] -= debt_installment
-            page_done = channel_start + profile.t_prog_us + debt_installment
-            self._wr_horizon[channel] = page_done
+            debt = gc_debt_us[channel]
+            idle_gap = channel_start - wr_before
+            if idle_gap > 0 and debt > 0:
+                debt = debt - idle_gap
+                if debt < 0.0:
+                    debt = 0.0
+            debt_installment = debt if debt < gc_installment_us else gc_installment_us
+            gc_debt_us[channel] = debt - debt_installment
+            page_done = channel_start + t_prog_us + debt_installment
+            wr_horizon[channel] = page_done
             # Reads queue behind the raw program plus the share of GC
             # that suspension cannot hide from them.
-            self._fg_horizon[channel] = (
-                channel_start
-                + profile.t_prog_us
-                + profile.gc_read_visible_fraction * debt_installment
+            fg_horizon[channel] = (
+                channel_start + t_prog_us + gc_read_visible_fraction * debt_installment
             )
             if page_done > last_program_done:
                 last_program_done = page_done
         self.sim.at(last_program_done, self._on_programs_done, lpns)
 
-    def _on_programs_done(self, lpns: List[int]) -> None:
+    def _on_programs_done(self, lpns: Iterable[int]) -> None:
         self.buffer.release(lpns)
         self._admit_pending_writes()
 

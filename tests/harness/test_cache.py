@@ -1,0 +1,330 @@
+"""Tests for the content-addressed sweep-point result cache."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.harness.cache import (
+    CacheStats,
+    ResultCache,
+    Uncacheable,
+    canonical_value,
+    code_fingerprint,
+    configure,
+    point_fingerprint,
+    resolve_cache,
+)
+from repro.harness.parallel import Sweep, SweepPoint, run_sweep
+
+CALLS = []
+
+
+def point_fn(x, seed=0):
+    """Module-level point function (cacheable by reference)."""
+    CALLS.append(("point_fn", x, seed))
+    return {"x": x, "seed": seed, "value": x * 2.5}
+
+
+def tuple_point(shape=(4, 8)):
+    CALLS.append(("tuple_point", shape))
+    return {"shape": list(shape)}
+
+
+def object_result_point(x):
+    CALLS.append(("object_result_point", x))
+    return object()  # not JSON-serialisable
+
+
+def slow_point(x):
+    CALLS.append(("slow_point", x))
+    time.sleep(0.01)
+    return {"x": x}
+
+
+@pytest.fixture(autouse=True)
+def _reset():
+    CALLS.clear()
+    configure(False)
+    yield
+    configure(False)
+
+
+def make_point(fn, index=0, label="p", **kwargs):
+    return SweepPoint(index=index, label=label, fn=fn, kwargs=kwargs)
+
+
+class TestCanonicalisation:
+    def test_tuples_become_lists(self):
+        assert canonical_value((1, 2, (3,))) == [1, 2, [3]]
+
+    def test_dict_keys_sorted(self):
+        assert list(canonical_value({"b": 1, "a": 2})) == ["a", "b"]
+
+    def test_primitives_pass_through(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert canonical_value(value) == value
+
+    def test_objects_rejected(self):
+        with pytest.raises(Uncacheable):
+            canonical_value(object())
+        with pytest.raises(Uncacheable):
+            canonical_value({1: "non-string key"})
+
+
+class TestFingerprints:
+    def test_stable_across_calls(self):
+        a = point_fingerprint(point_fn, {"x": 1, "seed": 7})
+        b = point_fingerprint(point_fn, {"x": 1, "seed": 7})
+        assert a[0] == b[0]
+
+    def test_kwargs_change_key(self):
+        a, _, _ = point_fingerprint(point_fn, {"x": 1, "seed": 7})
+        b, _, _ = point_fingerprint(point_fn, {"x": 2, "seed": 7})
+        c, _, _ = point_fingerprint(point_fn, {"x": 1, "seed": 8})
+        assert len({a, b, c}) == 3
+
+    def test_schema_version_changes_key(self):
+        a, _, _ = point_fingerprint(point_fn, {"x": 1}, schema_version=1)
+        b, _, _ = point_fingerprint(point_fn, {"x": 1}, schema_version=2)
+        assert a != b
+
+    def test_lambdas_are_uncacheable(self):
+        with pytest.raises(Uncacheable):
+            point_fingerprint(lambda x: x, {"x": 1})
+
+    def test_code_fingerprint_covers_repro_closure(self):
+        from repro.harness.experiments import fig02_unloaded_latency as fig02
+        from repro.harness.cache import transitive_sources
+
+        # The driver's closure reaches the simulation core: editing the
+        # SSD timing model must invalidate figure sweeps.
+        sources = transitive_sources(fig02._point.__module__, roots={"repro"})
+        assert "repro.ssd.device" in sources
+        assert "repro.sim.engine" in sources
+        # And a function outside that closure fingerprints differently.
+        assert code_fingerprint(fig02._point) != code_fingerprint(point_fn)
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        point = make_point(point_fn, x=3, seed=1)
+        hit, _ = cache.lookup(point)
+        assert not hit
+        stored = cache.store(point, point_fn(**point.kwargs), elapsed_s=0.5)
+        hit, value = cache.lookup(point)
+        assert hit
+        assert value == stored == {"x": 3, "seed": 1, "value": 7.5}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+        assert cache.stats.seconds_saved == pytest.approx(0.5)
+
+    def test_store_round_trips_tuples_like_json(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        point = make_point(tuple_point, shape=(4, 8))
+        stored = cache.store(point, {"pair": (1, 2)}, elapsed_s=0.0)
+        assert stored == {"pair": [1, 2]}
+        hit, value = cache.lookup(point)
+        assert hit and value == stored
+
+    def test_unserialisable_result_bypasses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        point = make_point(object_result_point, x=1)
+        result = object()
+        assert cache.store(point, result, elapsed_s=0.0) is result
+        assert cache.stats.uncacheable == 1
+        assert cache.entries() == []
+
+    def test_uncacheable_kwargs_bypass(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        point = make_point(point_fn, x=object())
+        hit, _ = cache.lookup(point)
+        assert not hit
+        assert cache.stats.uncacheable == 1
+        assert cache.stats.misses == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        point = make_point(point_fn, x=1, seed=0)
+        cache.store(point, point_fn(1), elapsed_s=0.0)
+        [entry] = cache.entries()
+        with open(entry["path"], "w", encoding="utf-8") as handle:
+            handle.write("{ torn")
+        hit, _ = cache.lookup(point)
+        assert not hit
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        for x in range(3):
+            point = make_point(point_fn, index=x, x=x)
+            cache.store(point, point_fn(x), elapsed_s=0.0)
+        assert cache.clear() == 3
+        assert cache.entries() == []
+
+
+class TestPrune:
+    def _filled(self, tmp_path, count=4):
+        cache = ResultCache(tmp_path / "cache")
+        points = []
+        for x in range(count):
+            point = make_point(point_fn, index=x, x=x)
+            cache.store(point, point_fn(x), elapsed_s=0.0)
+            points.append(point)
+        # Stage strictly increasing mtimes: entry 0 is the LRU victim.
+        base = time.time() - 1000
+        for offset, point in enumerate(points):
+            fingerprint, _, _ = point_fingerprint(point.fn, point.kwargs)
+            path = cache._entry_path(fingerprint)
+            stamp = base + offset
+            os.utime(path, (stamp, stamp))
+        return cache, points
+
+    def test_prune_evicts_lru_first(self, tmp_path):
+        cache, points = self._filled(tmp_path)
+        removed = cache.prune(max_entries=2)
+        assert removed == 2
+        # The two oldest (x=0, x=1) are gone, the newest remain.
+        assert not cache.lookup(points[0])[0]
+        assert not cache.lookup(points[1])[0]
+        assert cache.lookup(points[2])[0]
+        assert cache.lookup(points[3])[0]
+
+    def test_hit_refreshes_lru_position(self, tmp_path):
+        cache, points = self._filled(tmp_path)
+        assert cache.lookup(points[0])[0]  # refreshes mtime of the oldest
+        removed = cache.prune(max_entries=2)
+        assert removed == 2
+        assert cache.lookup(points[0])[0]  # survived thanks to the hit
+        assert not cache.lookup(points[1])[0]
+
+    def test_prune_by_bytes(self, tmp_path):
+        cache, _ = self._filled(tmp_path)
+        entry_bytes = cache.entries()[0]["size_bytes"]
+        removed = cache.prune(max_bytes=entry_bytes * 2)
+        assert removed == 2
+        assert len(cache.entries()) == 2
+
+
+class TestRunSweepIntegration:
+    def _points(self, n=4):
+        return [
+            SweepPoint(index=i, label=f"x={i}", fn=point_fn, kwargs={"x": i, "seed": i})
+            for i in range(n)
+        ]
+
+    def test_warm_run_skips_execution(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(self._points(), cache=cache, name="t")
+        executed_cold = len(CALLS)
+        warm = run_sweep(self._points(), cache=cache, name="t")
+        assert warm == cold
+        assert len(CALLS) == executed_cold  # nothing re-executed
+        assert cache.stats.hits == 4
+
+    def test_mixed_run_merges_in_point_order(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(self._points(2), cache=cache, name="t")
+        # Two cached points plus two fresh ones, interleaved by index.
+        mixed = run_sweep(self._points(4), cache=cache, name="t")
+        assert [row["x"] for row in mixed] == [0, 1, 2, 3]
+        uncached = run_sweep(self._points(4), cache=False)
+        assert json.dumps(mixed, sort_keys=True) == json.dumps(uncached, sort_keys=True)
+
+    def test_cache_false_disables(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(self._points(), cache=cache, name="t")
+        before = len(CALLS)
+        run_sweep(self._points(), cache=False)
+        assert len(CALLS) == before + 4
+
+    def test_journal_records_runs(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        sweep_points = self._points(3)
+        run_sweep(sweep_points, cache=cache, name="alpha")
+        run_sweep(sweep_points, cache=cache, name="alpha")
+        journal = cache.read_journal()
+        assert [record["sweep"] for record in journal] == ["alpha", "alpha"]
+        assert journal[0]["misses"] == 3 and journal[0]["hits"] == 0
+        assert journal[1]["hits"] == 3 and journal[1]["misses"] == 0
+        assert journal[1]["seconds_saved"] >= 0.0
+
+    def test_sweep_run_accepts_cache(self, tmp_path):
+        sweep = Sweep("mini")
+        for x in (1, 2):
+            sweep.point(point_fn, label=f"x={x}", x=x, seed=sweep.seed_for(f"x={x}"))
+        first = sweep.run(cache=tmp_path / "cache")
+        second = sweep.run(cache=tmp_path / "cache")
+        assert first == second
+
+    def test_ambient_configure(self, tmp_path):
+        configure(tmp_path / "ambient")
+        try:
+            run_sweep(self._points(2), name="amb")  # cache=None -> ambient
+            before = len(CALLS)
+            run_sweep(self._points(2), name="amb")
+            assert len(CALLS) == before
+        finally:
+            configure(False)
+
+    def test_env_toggle(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert resolve_cache(None) is not None
+        run_sweep(self._points(2), name="env")
+        before = len(CALLS)
+        run_sweep(self._points(2), name="env")
+        assert len(CALLS) == before
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert resolve_cache(None) is None
+
+
+class TestObsIntegration:
+    def test_counters_and_trace_event(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        points = [
+            SweepPoint(index=i, label=f"x={i}", fn=point_fn, kwargs={"x": i})
+            for i in range(2)
+        ]
+        with obs.capture(trace=True) as session:
+            run_sweep(points, cache=cache, name="obs-sweep")
+            run_sweep(points, cache=cache, name="obs-sweep")
+        snapshot = session.registry.snapshot()
+        assert snapshot["cache.misses"] == 2
+        assert snapshot["cache.hits"] == 2
+        assert snapshot["cache.writes"] == 2
+        events = session.tracer.of_type("cache")
+        assert len(events) == 2
+        assert events[0]["sweep"] == "obs-sweep"
+        assert events[1]["hits"] == 2
+
+    def test_register_metrics_gauges(self, tmp_path):
+        from repro.obs.registry import Registry
+
+        cache = ResultCache(tmp_path / "cache")
+        registry = Registry()
+        cache.register_metrics(registry)
+        point = make_point(point_fn, x=1)
+        cache.store(point, point_fn(1), elapsed_s=0.25)
+        cache.lookup(point)
+        snapshot = registry.snapshot()
+        assert snapshot["cache.writes"] == 1
+        assert snapshot["cache.hits"] == 1
+        assert snapshot["cache.seconds_saved"] == pytest.approx(0.25)
+
+
+class TestCacheStats:
+    def test_delta_since(self):
+        stats = CacheStats()
+        before = stats.snapshot()
+        stats.hits += 3
+        stats.seconds_saved += 1.5
+        delta = stats.delta_since(before)
+        assert delta["hits"] == 3
+        assert delta["seconds_saved"] == pytest.approx(1.5)
+        assert delta["misses"] == 0

@@ -1,0 +1,92 @@
+"""Cache safety under concurrent writers sharing one directory.
+
+Several worker processes run the same sweep against the same cache
+directory at once -- the ``--jobs N`` / parallel-CI shape.  Because
+entries are written to a unique temp file and published with
+``os.replace``, the races must produce exactly one valid entry per
+point: no torn JSON, no duplicates, no leftover temp files.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import SweepPoint, run_sweep
+
+N_POINTS = 6
+N_WORKERS = 4
+ROUNDS_PER_WORKER = 5
+
+
+def racy_point(x, worker=None):
+    # ``worker`` is deliberately NOT part of the kwargs (all workers
+    # share point identities) -- see _points().
+    return {"x": x, "squared": x * x}
+
+
+def _points():
+    return [
+        SweepPoint(index=i, label=f"x={i}", fn=racy_point, kwargs={"x": i})
+        for i in range(N_POINTS)
+    ]
+
+
+def _worker(cache_dir: str) -> list:
+    cache = ResultCache(cache_dir)
+    results = None
+    for _ in range(ROUNDS_PER_WORKER):
+        results = run_sweep(_points(), cache=cache, name="race")
+    return results
+
+
+def test_concurrent_workers_produce_no_torn_or_duplicate_entries(tmp_path):
+    cache_dir = tmp_path / "shared-cache"
+    with ProcessPoolExecutor(max_workers=N_WORKERS) as pool:
+        futures = [pool.submit(_worker, str(cache_dir)) for _ in range(N_WORKERS)]
+        all_results = [future.result() for future in futures]
+
+    expected = run_sweep(_points(), cache=False)
+    for results in all_results:
+        assert results == expected
+
+    # Exactly one entry per point, every one valid JSON with a matching
+    # fingerprint, and no temp-file debris from the replace dance.
+    cache = ResultCache(cache_dir)
+    entries = cache.entries()
+    assert len(entries) == N_POINTS
+    fingerprints = {entry["fingerprint"] for entry in entries}
+    assert len(fingerprints) == N_POINTS
+    for entry in entries:
+        payload = json.loads(Path(entry["path"]).read_text(encoding="utf-8"))
+        assert payload["fingerprint"] == Path(entry["path"]).stem
+        assert payload["result"]["squared"] == payload["result"]["x"] ** 2
+    leftovers = [p for p in cache_dir.iterdir() if ".tmp-" in p.name]
+    assert leftovers == []
+
+    # A fresh reader hits every entry.
+    for point in _points():
+        hit, value = cache.lookup(point)
+        assert hit and value == {"x": point.kwargs["x"], "squared": point.kwargs["x"] ** 2}
+
+
+def test_interleaved_reader_never_sees_torn_entries(tmp_path):
+    """Lookups racing live writers either miss cleanly or return a
+    fully valid result -- never a partial file."""
+    cache_dir = tmp_path / "shared-cache"
+    reader = ResultCache(cache_dir)
+    with ProcessPoolExecutor(max_workers=N_WORKERS) as pool:
+        futures = [pool.submit(_worker, str(cache_dir)) for _ in range(N_WORKERS)]
+        # Poll lookups while the writers are in flight.
+        while not all(future.done() for future in futures):
+            for point in _points():
+                hit, value = reader.lookup(point)
+                if hit:
+                    assert value == {
+                        "x": point.kwargs["x"],
+                        "squared": point.kwargs["x"] ** 2,
+                    }
+        for future in futures:
+            future.result()

@@ -1,0 +1,150 @@
+"""Incremental invalidation: editing a module re-runs exactly the
+points that transitively import it.
+
+Builds a throwaway package with two independent dependency chains
+(``points_a -> dep_alpha``, ``points_b -> dep_beta``), caches one sweep
+over both, then mutates ``dep_alpha``.  Only the point whose closure
+contains the edited file may recompute; the other chain must stay warm.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+import textwrap
+import uuid
+
+import pytest
+
+from repro.harness.cache import ResultCache, clear_fingerprint_caches
+from repro.harness.parallel import SweepPoint, run_sweep
+
+
+@pytest.fixture
+def fake_pkg(tmp_path):
+    name = f"fakesim_{uuid.uuid4().hex[:10]}"
+    pkg = tmp_path / name
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "dep_alpha.py").write_text("SCALE = 1\n", encoding="utf-8")
+    (pkg / "dep_beta.py").write_text("SCALE = 10\n", encoding="utf-8")
+    (pkg / "points_a.py").write_text(
+        textwrap.dedent(
+            f"""
+            from {name} import dep_alpha
+
+
+            def point(x, log):
+                with open(log, "a", encoding="utf-8") as handle:
+                    handle.write("a\\n")
+                return {{"which": "a", "value": dep_alpha.SCALE * x}}
+            """
+        ),
+        encoding="utf-8",
+    )
+    (pkg / "points_b.py").write_text(
+        textwrap.dedent(
+            f"""
+            from {name} import dep_beta
+
+
+            def point(x, log):
+                with open(log, "a", encoding="utf-8") as handle:
+                    handle.write("b\\n")
+                return {{"which": "b", "value": dep_beta.SCALE * x}}
+            """
+        ),
+        encoding="utf-8",
+    )
+    sys.path.insert(0, str(tmp_path))
+    importlib.invalidate_caches()
+    try:
+        yield name, pkg
+    finally:
+        sys.path.remove(str(tmp_path))
+        for module in [m for m in sys.modules if m == name or m.startswith(f"{name}.")]:
+            del sys.modules[module]
+        clear_fingerprint_caches()
+
+
+def _bump_mtime(path, seconds=5):
+    stat = os.stat(path)
+    os.utime(path, ns=(stat.st_mtime_ns + seconds * 10**9,) * 2)
+
+
+def test_editing_a_dependency_invalidates_only_its_importers(fake_pkg, tmp_path):
+    name, pkg = fake_pkg
+    points_a = importlib.import_module(f"{name}.points_a")
+    points_b = importlib.import_module(f"{name}.points_b")
+    log = tmp_path / "executions.log"
+    cache = ResultCache(tmp_path / "cache")
+
+    def points():
+        return [
+            SweepPoint(index=0, label="a", fn=points_a.point, kwargs={"x": 2, "log": str(log)}),
+            SweepPoint(index=1, label="b", fn=points_b.point, kwargs={"x": 2, "log": str(log)}),
+        ]
+
+    executions = lambda: log.read_text(encoding="utf-8").splitlines()  # noqa: E731
+
+    # Cold: both points execute and are stored.
+    run_sweep(points(), cache=cache, name="inv")
+    assert sorted(executions()) == ["a", "b"]
+
+    # Warm, nothing edited: neither point re-executes.
+    run_sweep(points(), cache=cache, name="inv")
+    assert sorted(executions()) == ["a", "b"]
+
+    # Edit dep_alpha (same size, new content + mtime): only the chain
+    # that transitively imports it recomputes.
+    alpha = pkg / "dep_alpha.py"
+    alpha.write_text("SCALE = 2\n", encoding="utf-8")
+    _bump_mtime(alpha)
+    run_sweep(points(), cache=cache, name="inv")
+    assert sorted(executions()) == ["a", "a", "b"]
+
+    # And the recomputed entry is itself warm now.
+    run_sweep(points(), cache=cache, name="inv")
+    assert sorted(executions()) == ["a", "a", "b"]
+
+
+def test_editing_the_point_module_itself_invalidates(fake_pkg, tmp_path):
+    name, pkg = fake_pkg
+    points_a = importlib.import_module(f"{name}.points_a")
+    log = tmp_path / "executions.log"
+    cache = ResultCache(tmp_path / "cache")
+    point = [SweepPoint(index=0, label="a", fn=points_a.point, kwargs={"x": 1, "log": str(log)})]
+
+    run_sweep(point, cache=cache, name="inv")
+    run_sweep(point, cache=cache, name="inv")
+    assert log.read_text(encoding="utf-8").count("a") == 1
+
+    module_file = pkg / "points_a.py"
+    module_file.write_text(
+        module_file.read_text(encoding="utf-8") + "\n# edited\n", encoding="utf-8"
+    )
+    _bump_mtime(module_file)
+    run_sweep(point, cache=cache, name="inv")
+    assert log.read_text(encoding="utf-8").count("a") == 2
+
+
+def test_package_init_is_part_of_the_closure(fake_pkg, tmp_path):
+    """Editing the package ``__init__`` (which executes on import)
+    invalidates every point in the package."""
+    name, pkg = fake_pkg
+    points_a = importlib.import_module(f"{name}.points_a")
+    points_b = importlib.import_module(f"{name}.points_b")
+    log = tmp_path / "executions.log"
+    cache = ResultCache(tmp_path / "cache")
+    points = [
+        SweepPoint(index=0, label="a", fn=points_a.point, kwargs={"x": 1, "log": str(log)}),
+        SweepPoint(index=1, label="b", fn=points_b.point, kwargs={"x": 1, "log": str(log)}),
+    ]
+
+    run_sweep(points, cache=cache, name="inv")
+    init = pkg / "__init__.py"
+    init.write_text("# package-level constant\n", encoding="utf-8")
+    _bump_mtime(init)
+    run_sweep(points, cache=cache, name="inv")
+    assert sorted(log.read_text(encoding="utf-8").splitlines()) == ["a", "a", "b", "b"]

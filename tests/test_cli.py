@@ -80,6 +80,62 @@ class TestCliObservability:
         assert current_session() is None
 
 
+class TestCliCache:
+    def test_run_with_cache_warm_restart(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "fig02", "--quick", "--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr()
+        assert "misses" in cold.err
+        assert main(["run", "fig02", "--quick", "--cache-dir", cache_dir]) == 0
+        warm = capsys.readouterr()
+        # Warm restart: all hits, and the printed figure is unchanged.
+        assert "0 misses" in warm.err
+        assert warm.out == cold.out
+
+    def test_no_cache_overrides_env(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert main(["run", "fig02", "--quick", "--no-cache"]) == 0
+        assert not (tmp_path / "envcache").exists()
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "fig02", "--quick", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] > 0
+        assert stats["total_bytes"] > 0
+        assert stats["runs"][-1]["sweep"] == "fig02"
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_cache_prune_respects_entry_budget(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "fig02", "--quick", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "prune", "--cache-dir", cache_dir, "--max-entries", "2"]) == 0
+        assert "pruned" in capsys.readouterr().out
+        import json
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 2
+
+    def test_unsupported_driver_warns_and_runs(self, capsys, tmp_path):
+        # table2 has no sweep, hence no cache support.
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "table2", "--quick", "--cache-dir", cache_dir]) == 0
+        captured = capsys.readouterr()
+        assert "does not support --cache" in captured.err
+        assert "Table 2" in captured.out
+
+
 class TestCliCalibrate:
     def test_calibrate_prints_anchors(self, capsys):
         assert main(["calibrate", "--duration-ms", "60"]) == 0
