@@ -29,6 +29,12 @@ class StorageScheduler(abc.ABC):
     submit_overhead_us = 0.0
     #: Extra core time on the completion path.
     complete_overhead_us = 0.0
+    #: A scheduler whose :meth:`enqueue` unconditionally submits the
+    #: request to the device (no queueing, no reordering, no state)
+    #: declares it here; the pipeline then fuses the enqueue and the
+    #: device submission into one event handler.  A subclass that
+    #: overrides :meth:`enqueue` with real policy must leave this False.
+    passthrough_enqueue = False
 
     def __init__(self) -> None:
         self.pipeline: Optional["SsdPipeline"] = None

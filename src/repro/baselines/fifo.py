@@ -19,6 +19,8 @@ class FifoScheduler(StorageScheduler):
     name = "vanilla"
     submit_overhead_us = 0.0
     complete_overhead_us = 0.0
+    # Pure pass-through: the pipeline may fuse enqueue + device submit.
+    passthrough_enqueue = True
 
     def enqueue(self, request: FabricRequest) -> None:
         self.submit_to_device(request)

@@ -10,7 +10,10 @@ Commands:
 * ``simulate`` -- ad-hoc multi-tenant run: pick a scheme, a device
   condition and a worker mix, get bandwidth/latency per tenant;
 * ``cache {stats,prune,clear}`` -- inspect or manage the sweep-point
-  result cache that ``run --cache`` (or ``REPRO_CACHE=1``) populates.
+  result cache that ``run --cache`` (or ``REPRO_CACHE=1``) populates;
+* ``profile <experiment>`` -- run one experiment under :mod:`cProfile`
+  and print the hottest functions, the first stop when a figure takes
+  longer to regenerate than expected.
 """
 
 from __future__ import annotations
@@ -218,6 +221,40 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 2
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile <experiment>`` -- cProfile one experiment driver.
+
+    Runs the driver exactly as ``repro run`` would (quick-mode windows
+    by default, since profiles rarely need full-length runs) and prints
+    the top functions by the chosen sort key.  ``--output`` dumps the
+    raw stats for ``snakeviz``/``pstats`` post-processing.
+    """
+    import cProfile
+    import pstats
+
+    name = _resolve_experiment(args.experiment)
+    if name is None:
+        print(f"unknown experiment {args.experiment!r}; try: python -m repro list", file=sys.stderr)
+        return 2
+    module, quick_kwargs = _load(name)
+    kwargs = dict(quick_kwargs) if not args.full else {}
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    results = module.run(**kwargs)
+    profiler.disable()
+
+    if not args.quiet:
+        print(module.summarize(results))
+        print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"raw profile: {args.output} (inspect with python -m pstats)", file=sys.stderr)
+    return 0
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     """Measure the device anchors the profiles are calibrated against."""
     import random
@@ -386,6 +423,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default .repro-cache; implies --cache)",
     )
     run_parser.set_defaults(fn=cmd_run)
+
+    profile_parser = sub.add_parser(
+        "profile", help="run one experiment under cProfile and print hot functions"
+    )
+    profile_parser.add_argument("experiment", help="e.g. fig07, table1 (see `list`)")
+    profile_parser.add_argument(
+        "--top", type=int, default=25, metavar="N", help="rows to print (default 25)"
+    )
+    profile_parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls", "calls", "time"],
+        help="pstats sort key (default cumulative)",
+    )
+    profile_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="profile the full-length run instead of quick-mode windows",
+    )
+    profile_parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="also dump raw pstats data to PATH",
+    )
+    profile_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the experiment's own summary"
+    )
+    profile_parser.set_defaults(fn=cmd_profile)
 
     calibrate_parser = sub.add_parser("calibrate", help="measure device anchor numbers")
     calibrate_parser.add_argument("--profile", default="dct983", choices=["dct983", "p3600"])

@@ -10,11 +10,16 @@ plain queue depth) and puts command capsules on the wire.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional
 
 from repro.fabric.network import Network
 from repro.fabric.policies import ClientPolicy, UnlimitedClientPolicy
-from repro.fabric.request import COMMAND_CAPSULE_BYTES, FabricRequest
+from repro.fabric.request import (
+    COMMAND_CAPSULE_BYTES,
+    FabricRequest,
+    acquire_request,
+    release_request,
+)
 from repro.sim.engine import Simulator
 from repro.ssd.commands import IoOp
 
@@ -84,18 +89,52 @@ class TenantSession:
         self.ssd_name = ssd_name
         self.policy = policy
         self.queue_depth = queue_depth
+        # Wire-path shortcut: command capsules are delivered straight
+        # into the owning pipeline's ``handle_arrival`` with this
+        # session's bound ``deliver_completion`` as the reply route --
+        # the per-IO work of :meth:`NvmeOfTarget.receive_command`
+        # (pipeline lookup, bound-method creation) is paid once here.
+        # ``receive_command`` remains the entry point for external
+        # callers that are not sessions.
+        self._arrive = target.pipeline(ssd_name).handle_arrival
+        self._deliver = self.deliver_completion
+        # The serialisation arithmetic of ``Network.send`` is inlined
+        # into the issue paths below; every network parameter is fixed
+        # after construction, so the scalars are hoisted here.  The
+        # capsule's bandwidth quotient is precomputed (the division
+        # result is exact either way); the additions keep ``send``'s
+        # association order so timings stay bit-identical.
+        network = initiator.network
+        self._port = initiator.port
+        self._per_message_us = network.per_message_us
+        self._propagation_us = network.propagation_us
+        self._capsule_wire_us = COMMAND_CAPSULE_BYTES / network.bandwidth
         #: Optional NVMe namespace; installed by connect() before the
         #: target registers the tenant.
         self.namespace = None
         self.inflight = 0
         self.submitted = 0
         self.completed = 0
+        #: Opt-in request recycling: a workload that never retains a
+        #: request past its completion callback (the fio workers) sets
+        #: this so steady-state IO draws from the free-list pool in
+        #: :mod:`repro.fabric.request` instead of allocating.
+        self.recycle_requests = False
         # Pending IOs grouped by priority: when the policy gates
         # submission, tagged latency-sensitive IOs (higher priority)
         # go on the wire before queued bulk traffic -- the client-side
-        # half of the paper's priority tagging.
-        self._pending_by_priority: Dict[int, Deque[Tuple[FabricRequest, Optional[CompletionCallback]]]] = {}
+        # half of the paper's priority tagging.  The application
+        # callback travels on the request itself (``_on_complete``).
+        self._pending_by_priority: Dict[int, Deque[FabricRequest]] = {}
         self._pending_count = 0
+        # Policies inheriting the base no-op observers (and the
+        # never-gating unlimited policy) cost nothing per IO.
+        policy_type = type(policy)
+        self._policy_gates = policy_type.allow is not UnlimitedClientPolicy.allow
+        self._policy_observes_submit = policy_type.on_submit is not ClientPolicy.on_submit
+        self._policy_observes_complete = (
+            policy_type.on_complete is not ClientPolicy.on_complete
+        )
         policy.bind(self)
 
     @property
@@ -117,20 +156,55 @@ class TenantSession:
         context=None,
     ) -> FabricRequest:
         """Queue one IO; it goes on the wire when the policy allows."""
-        request = FabricRequest(
-            tenant_id=self.tenant_id,
-            op=op,
-            lba=lba,
-            npages=npages,
-            priority=priority,
-            context=context,
-        )
-        request.t_client_submit = self.sim.now
+        if self.recycle_requests:
+            request = acquire_request(
+                self.tenant_id, op, lba, npages, priority, context
+            )
+        else:
+            request = FabricRequest(
+                tenant_id=self.tenant_id,
+                op=op,
+                lba=lba,
+                npages=npages,
+                priority=priority,
+                context=context,
+            )
+        now = self.sim.now
+        request.t_client_submit = now
+        request._on_complete = on_complete
+        # Closed-loop steady state: nothing queued and the window open.
+        # The request goes straight on the wire without the queue
+        # round-trip (append + pop), which _try_issue would perform
+        # with an identical outcome.
+        if (
+            not self._pending_count
+            and self.inflight < self.queue_depth
+            and (not self._policy_gates or self.policy.allow())
+        ):
+            request.t_wire_submit = now
+            self.inflight += 1
+            self.submitted += 1
+            if self._policy_observes_submit:
+                self.policy.on_submit(request)
+            port = self._port
+            busy = port.tx_busy_until
+            start = now if now > busy else busy
+            tx_done = start + self._per_message_us + self._capsule_wire_us
+            port.tx_busy_until = tx_done
+            port.bytes_sent += COMMAND_CAPSULE_BYTES
+            port.messages_sent += 1
+            self.sim.at_(
+                tx_done + self._propagation_us,
+                self._arrive,
+                request,
+                self._deliver,
+            )
+            return request
         queue = self._pending_by_priority.get(priority)
         if queue is None:
             queue = deque()
             self._pending_by_priority[priority] = queue
-        queue.append((request, on_complete))
+        queue.append(request)
         self._pending_count += 1
         self._try_issue()
         return request
@@ -138,36 +212,56 @@ class TenantSession:
     # ------------------------------------------------------------------
     # Wire protocol
     # ------------------------------------------------------------------
-    def _pop_pending(self) -> Tuple[FabricRequest, Optional[CompletionCallback]]:
-        for priority in sorted(self._pending_by_priority, reverse=True):
-            queue = self._pending_by_priority[priority]
-            if queue:
-                self._pending_count -= 1
-                item = queue.popleft()
-                if not queue:
-                    del self._pending_by_priority[priority]
-                return item
-        raise IndexError("no pending IO")
+    def _pop_pending(self) -> FabricRequest:
+        # Empty queues are deleted eagerly, so every present queue has
+        # an IO; the overwhelmingly common single-priority case needs
+        # no sort.
+        by_priority = self._pending_by_priority
+        if len(by_priority) == 1:
+            priority, queue = next(iter(by_priority.items()))
+        else:
+            for priority in sorted(by_priority, reverse=True):
+                queue = by_priority[priority]
+                break
+            else:
+                raise IndexError("no pending IO")
+        self._pending_count -= 1
+        request = queue.popleft()
+        if not queue:
+            del by_priority[priority]
+        return request
 
     def _try_issue(self) -> None:
+        sim = self.sim
+        port = self._port
+        policy = self.policy
+        gated = self._policy_gates
+        observes = self._policy_observes_submit
+        # The additions below mirror Network.send term-for-term (start +
+        # per_message + bytes/bandwidth, then + propagation) so the two
+        # issue paths and the generic send produce identical floats.
+        per_message_us = self._per_message_us
+        capsule_wire_us = self._capsule_wire_us
+        propagation_us = self._propagation_us
         while (
             self._pending_count
             and self.inflight < self.queue_depth
-            and self.policy.allow()
+            and (not gated or policy.allow())
         ):
-            request, on_complete = self._pop_pending()
-            request.t_wire_submit = self.sim.now
+            request = self._pop_pending()
+            now = sim.now
+            request.t_wire_submit = now
             self.inflight += 1
             self.submitted += 1
-            self.policy.on_submit(request)
-            self.initiator.network.send(
-                self.client_port,
-                COMMAND_CAPSULE_BYTES,
-                self.target.receive_command,
-                request,
-                self,
-                on_complete,
-            )
+            if observes:
+                policy.on_submit(request)
+            busy = port.tx_busy_until
+            start = now if now > busy else busy
+            tx_done = start + per_message_us + capsule_wire_us
+            port.tx_busy_until = tx_done
+            port.bytes_sent += COMMAND_CAPSULE_BYTES
+            port.messages_sent += 1
+            sim.at_(tx_done + propagation_us, self._arrive, request, self._deliver)
 
     def disconnect(self) -> None:
         """Detach from the target.  All IO must have drained first."""
@@ -180,17 +274,23 @@ class TenantSession:
         if self in self.initiator.sessions:
             self.initiator.sessions.remove(self)
 
-    def deliver_completion(
-        self, request: FabricRequest, on_complete: Optional[CompletionCallback]
-    ) -> None:
+    def deliver_completion(self, request: FabricRequest) -> None:
         """Called (via the network) when the response capsule lands."""
         request.t_client_complete = self.sim.now
         self.inflight -= 1
         self.completed += 1
-        self.policy.on_complete(request)
+        if self._policy_observes_complete:
+            self.policy.on_complete(request)
+        on_complete = request._on_complete
         if on_complete is not None:
             on_complete(request)
-        self._try_issue()
+        # A closed-loop resubmission inside ``on_complete`` takes the
+        # fast path in :meth:`submit`, so the queue is normally empty
+        # here and the issue loop has nothing to do.
+        if self._pending_count:
+            self._try_issue()
+        if self.recycle_requests:
+            release_request(request)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -85,7 +85,7 @@ class Network:
         src.bytes_sent += nbytes
         src.messages_sent += 1
         arrival = tx_done + self.propagation_us
-        self.sim.at(arrival, deliver, *args)
+        self.sim.at_(arrival, deliver, *args)
         return arrival
 
     def register_metrics(self, registry, prefix: str = "net") -> None:

@@ -12,6 +12,16 @@ the five-step NVMe-over-RDMA flow:
    reads, the payload is RDMA_WRITTEN back inside the same booking,
 5. the response capsule returns with the scheduler's credit grant
    piggybacked (Section 3.6's reservation-field trick).
+
+Every handler below runs once per IO, which makes this file the hot
+path of the whole simulator.  The costs each step books are functions
+of construction-time inputs only, so they are precomputed into
+per-pipeline constants (and a per-size-class table for reads) rather
+than re-derived per capsule; schedulers that inherit the base-class
+no-op hooks are detected once so the steady state skips those calls
+entirely; and the per-IO ``DeviceCommand`` is drawn from the free-list
+pool in :mod:`repro.ssd.commands` because the pipeline is the last
+consumer of it.
 """
 
 from __future__ import annotations
@@ -25,10 +35,22 @@ from repro.fabric.smartnic import CpuCostModel, NicCore
 from repro.nvme.namespace import Namespace
 from repro.obs.trace import TraceType
 from repro.sim.engine import Simulator
-from repro.ssd.commands import DeviceCommand
+from repro.ssd.commands import IoOp, acquire_command, release_command
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.baselines.base import StorageScheduler
+
+
+def _overrides_base(scheduler: "StorageScheduler", method_name: str) -> bool:
+    """True when ``scheduler`` overrides ``method_name`` rather than
+    inheriting the :class:`StorageScheduler` no-op.
+
+    Resolved by qualname so this module needs no runtime import of the
+    baselines package (which imports the fabric package back).
+    """
+    method = getattr(type(scheduler), method_name, None)
+    qualname = getattr(method, "__qualname__", "")
+    return not qualname.startswith("StorageScheduler.")
 
 
 @dataclass
@@ -66,19 +88,78 @@ class SsdPipeline:
         self.cpu_model = cpu_model
         self.network = network
         self.port = port
-        #: Figure 16's knob: artificial per-IO processing added on the
-        #: submission path (e.g. an offloaded computation).
-        self.added_io_cost_us = added_io_cost_us
         #: NULL backends skip the NVMe driver overhead share.
         self.real_device = getattr(device, "ftl", None) is not None
         self.stats = PipelineStats()
-        self._reply_routes: Dict[int, Callable[[FabricRequest], None]] = {}
+        #: Responses owed to clients (requests between arrival and the
+        #: response capsule going out).
+        self._inflight_replies = 0
         self._client_ports: Dict[str, NetworkPort] = {}
         self._namespaces: Dict[str, Namespace] = {}
         # Last credit grant journalled per tenant: the CREDIT trace
         # event fires on change, not on every response.
         self._traced_credit: Dict[str, int] = {}
+        # Schedulers that keep the base-class no-op hooks pay nothing
+        # for them: the flags below are resolved once per pipeline.
+        self._sched_notifies = _overrides_base(scheduler, "notify_completion")
+        self._sched_grants_credit = _overrides_base(scheduler, "credit_for")
+        self._sched_has_view = _overrides_base(scheduler, "virtual_view")
+        #: Pass-through schedulers (vanilla FIFO) admit every request
+        #: the moment it is enqueued, so the enqueue timestamp, the
+        #: scheduler hop and the device submission collapse into one
+        #: handler (:meth:`_direct_device_submit`).
+        self._sched_passthrough = getattr(scheduler, "passthrough_enqueue", False)
+        # Core-booking accounting is inlined at the two per-IO booking
+        # sites; the per-tag [total_us, events] records are fetched
+        # lazily so an idle pipeline adds no keys to the core's table.
+        self._submit_record = None
+        self._complete_record = None
+        # Network serialisation scalars for the inlined response send
+        # (all fixed after construction; the association order of the
+        # additions matches Network.send so timings stay bit-identical).
+        self._per_message_us = network.per_message_us
+        self._propagation_us = network.propagation_us
+        self._bandwidth = network.bandwidth
+        #: Figure 16's knob: artificial per-IO processing added on the
+        #: submission path (e.g. an offloaded computation).  Assigning
+        #: it rebuilds the precomputed cost constants.
+        self.added_io_cost_us = added_io_cost_us
         scheduler.attach(self)
+
+    # ------------------------------------------------------------------
+    # Precomputed per-IO costs
+    # ------------------------------------------------------------------
+    @property
+    def added_io_cost_us(self) -> float:
+        return self._added_io_cost_us
+
+    @added_io_cost_us.setter
+    def added_io_cost_us(self, value: float) -> None:
+        self._added_io_cost_us = value
+        self._rebuild_cost_tables()
+
+    def _rebuild_cost_tables(self) -> None:
+        """Fold the cost-model arithmetic into per-pipeline constants.
+
+        Invalidation rule: every input (cost model, scheduler overheads,
+        ``real_device``, ``added_io_cost_us``) is fixed at construction
+        except the Figure 16 knob, whose setter re-runs this.
+        """
+        model = self.cpu_model
+        scheduler = self.scheduler
+        real = self.real_device
+        self._submit_cost_us = model.submit_cost_us(
+            scheduler.submit_overhead_us, self._added_io_cost_us, real
+        )
+        self._complete_cost_us = model.complete_cost_us(
+            scheduler.complete_overhead_us, real
+        )
+        #: ``{npages: completion cost}``; extended lazily for uncommon
+        #: sizes in the completion handler.
+        self._read_complete_cost = model.read_complete_cost_table(
+            scheduler.complete_overhead_us, real
+        )
+        self._per_page_us = model.per_page_us
 
     # ------------------------------------------------------------------
     # Tenant management
@@ -110,30 +191,41 @@ class SsdPipeline:
         self, request: FabricRequest, reply: Callable[[FabricRequest], None]
     ) -> None:
         """Step 1-2: capsule landed; run submission-path processing."""
-        request.t_target_arrival = self.sim.now
-        self._reply_routes[request.request_id] = reply
-        tracer = self.sim.tracer
+        sim = self.sim
+        request.t_target_arrival = sim.now
+        request._reply = reply
+        self._inflight_replies += 1
+        tracer = sim.tracer
         if tracer is not None:
             tracer.emit(
                 TraceType.IO_SUBMIT,
-                self.sim.now,
+                sim.now,
                 self.name,
                 tenant=request.tenant_id,
                 op=request.op.name,
-                bytes=request.size_bytes,
+                bytes=request.npages * 4096,
             )
-        cost = (
-            self.cpu_model.submit_fixed_us
-            + self.scheduler.submit_overhead_us
-            + self.added_io_cost_us
-        )
-        if self.real_device:
-            cost += self.cpu_model.device_extra_us / 2.0
-        done = self.core.book(cost, tag="submit")
-        if request.op.is_write:
-            self.sim.at(done, self._fetch_write_data, request)
+        # Inlined NicCore.book(submit_cost, "submit"): the cost is a
+        # per-pipeline constant >= 0, so only the horizon arithmetic
+        # and the accounting remain.
+        core = self.core
+        cost = self._submit_cost_us
+        now = sim.now
+        busy = core.busy_until
+        done = (now if now > busy else busy) + cost
+        core.busy_until = done
+        core.busy_us_total += cost
+        record = self._submit_record
+        if record is None:
+            record = self._submit_record = core._by_tag.setdefault("submit", [0.0, 0])
+        record[0] += cost
+        record[1] += 1
+        if request.op is IoOp.WRITE:
+            sim.at_(done, self._fetch_write_data, request)
+        elif self._sched_passthrough:
+            sim.at_(done, self._direct_device_submit, request)
         else:
-            self.sim.at(done, self._scheduler_enqueue, request)
+            sim.at_(done, self._scheduler_enqueue, request)
 
     def _fetch_write_data(self, request: FabricRequest) -> None:
         """RDMA_READ the write payload from the client's memory."""
@@ -142,100 +234,173 @@ class SsdPipeline:
 
     def _write_data_arrived(self, request: FabricRequest) -> None:
         # Data-path handling (DMA completion, buffer management).
-        done = self.core.book(self.cpu_model.per_page_us * request.npages, tag="datapath")
-        self.sim.at(done, self._scheduler_enqueue, request)
+        done = self.core.book(self._per_page_us * request.npages, "datapath")
+        if self._sched_passthrough:
+            self.sim.at_(done, self._direct_device_submit, request)
+        else:
+            self.sim.at_(done, self._scheduler_enqueue, request)
 
     def _scheduler_enqueue(self, request: FabricRequest) -> None:
         request.t_sched_enqueue = self.sim.now
         self.scheduler.enqueue(request)
+
+    def _direct_device_submit(self, request: FabricRequest) -> None:
+        """Steps 2-3 fused for pass-through schedulers: the request is
+        enqueued and admitted in the same instant, so the scheduler hop
+        carries no information and the device submission runs here."""
+        sim = self.sim
+        now = sim.now
+        request.t_sched_enqueue = now
+        request.t_device_submit = now
+        tracer = sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                TraceType.IO_DISPATCH,
+                now,
+                self.name,
+                tenant=request.tenant_id,
+                op=request.op.name,
+                queued_us=0.0,
+            )
+        if self._namespaces:
+            namespace = self._namespaces.get(request.tenant_id)
+            if namespace is not None:
+                lpn = namespace.translate(request.lba, request.npages)
+            else:
+                lpn = request.lba
+        else:
+            lpn = request.lba
+        command = acquire_command(request.op, lpn, request.npages, request)
+        self.device.submit(command, self._device_completed)
 
     # ------------------------------------------------------------------
     # Device boundary (called by the scheduler)
     # ------------------------------------------------------------------
     def device_submit(self, request: FabricRequest) -> None:
         """Step 3: the scheduler admits this IO to the SSD now."""
-        request.t_device_submit = self.sim.now
-        tracer = self.sim.tracer
+        sim = self.sim
+        request.t_device_submit = sim.now
+        tracer = sim.tracer
         if tracer is not None:
             tracer.emit(
                 TraceType.IO_DISPATCH,
-                self.sim.now,
+                sim.now,
                 self.name,
                 tenant=request.tenant_id,
                 op=request.op.name,
-                queued_us=self.sim.now - request.t_sched_enqueue,
+                queued_us=sim.now - request.t_sched_enqueue,
             )
         namespace = self._namespaces.get(request.tenant_id)
         if namespace is not None:
             lpn = namespace.translate(request.lba, request.npages)
         else:
             lpn = request.lba
-        command = DeviceCommand(request.op, lpn, request.npages, tag=request)
+        command = acquire_command(request.op, lpn, request.npages, request)
         self.device.submit(command, self._device_completed)
 
-    def _device_completed(self, command: DeviceCommand) -> None:
+    def _device_completed(self, command) -> None:
         """Step 4: completion-path processing, then the response."""
         request: FabricRequest = command.tag
-        request.t_device_complete = self.sim.now
-        tracer = self.sim.tracer
+        release_command(command)
+        sim = self.sim
+        request.t_device_complete = sim.now
+        tracer = sim.tracer
         if tracer is not None:
             tracer.emit(
                 TraceType.IO_COMPLETE,
-                self.sim.now,
+                sim.now,
                 self.name,
                 tenant=request.tenant_id,
                 op=request.op.name,
-                bytes=request.size_bytes,
+                bytes=request.npages * 4096,
                 device_lat_us=request.device_latency_us,
             )
-        self.scheduler.notify_completion(request)
-        cost = self.cpu_model.complete_fixed_us + self.scheduler.complete_overhead_us
-        if self.real_device:
-            cost += self.cpu_model.device_extra_us / 2.0
-        if request.op.is_read:
-            cost += self.cpu_model.per_page_us * request.npages
-        done = self.core.book(cost, tag="complete")
-        self.sim.at(done, self._send_response, request)
+        if self._sched_notifies:
+            self.scheduler.notify_completion(request)
+        if request.op is IoOp.READ:
+            table = self._read_complete_cost
+            npages = request.npages
+            cost = table.get(npages)
+            if cost is None:
+                cost = table[npages] = (
+                    self._complete_cost_us + self._per_page_us * npages
+                )
+        else:
+            cost = self._complete_cost_us
+        # Inlined NicCore.book(cost, "complete"), as on the ingress side.
+        core = self.core
+        now = sim.now
+        busy = core.busy_until
+        done = (now if now > busy else busy) + cost
+        core.busy_until = done
+        core.busy_us_total += cost
+        record = self._complete_record
+        if record is None:
+            record = self._complete_record = core._by_tag.setdefault(
+                "complete", [0.0, 0]
+            )
+        record[0] += cost
+        record[1] += 1
+        sim.at_(done, self._send_response, request)
 
     def _send_response(self, request: FabricRequest) -> None:
         """Step 5: RDMA_WRITE read data + response capsule with credits."""
-        request.credit_grant = self.scheduler.credit_for(request.tenant_id)
-        request.virtual_view = self.scheduler.virtual_view()
-        tracer = self.sim.tracer
-        if tracer is not None and request.credit_grant != self._traced_credit.get(
-            request.tenant_id
-        ):
-            self._traced_credit[request.tenant_id] = request.credit_grant
-            tracer.emit(
-                TraceType.CREDIT,
-                self.sim.now,
-                self.name,
-                tenant=request.tenant_id,
-                credit=request.credit_grant,
-            )
-        if request.op.is_read:
-            self.stats.reads += 1
-            self.stats.read_bytes += request.size_bytes
-            wire_bytes = request.size_bytes + RESPONSE_CAPSULE_BYTES
-            payload_bytes = request.size_bytes
-        elif request.op.is_trim:
+        if self._sched_grants_credit:
+            request.credit_grant = self.scheduler.credit_for(request.tenant_id)
+            tracer = self.sim.tracer
+            if tracer is not None and request.credit_grant != self._traced_credit.get(
+                request.tenant_id
+            ):
+                self._traced_credit[request.tenant_id] = request.credit_grant
+                tracer.emit(
+                    TraceType.CREDIT,
+                    self.sim.now,
+                    self.name,
+                    tenant=request.tenant_id,
+                    credit=request.credit_grant,
+                )
+        if self._sched_has_view:
+            request.virtual_view = self.scheduler.virtual_view()
+        op = request.op
+        stats = self.stats
+        if op is IoOp.READ:
+            size_bytes = request.npages * 4096
+            stats.reads += 1
+            stats.read_bytes += size_bytes
+            wire_bytes = size_bytes + RESPONSE_CAPSULE_BYTES
+            payload_bytes = size_bytes
+        elif op is IoOp.TRIM:
             # Deallocate moves no payload: counting its nominal LBA
             # range would inflate the tenant's throughput attribution.
-            self.stats.trims += 1
+            stats.trims += 1
             wire_bytes = RESPONSE_CAPSULE_BYTES
             payload_bytes = 0
         else:
-            self.stats.writes += 1
-            self.stats.write_bytes += request.size_bytes
+            size_bytes = request.npages * 4096
+            stats.writes += 1
+            stats.write_bytes += size_bytes
             wire_bytes = RESPONSE_CAPSULE_BYTES
-            payload_bytes = request.size_bytes
+            payload_bytes = size_bytes
         if payload_bytes:
-            per_tenant = self.stats.by_tenant_bytes
-            per_tenant[request.tenant_id] = (
-                per_tenant.get(request.tenant_id, 0) + payload_bytes
-            )
-        reply = self._reply_routes.pop(request.request_id)
-        self.network.send(self.port, wire_bytes, reply, request)
+            per_tenant = stats.by_tenant_bytes
+            tenant_id = request.tenant_id
+            per_tenant[tenant_id] = per_tenant.get(tenant_id, 0) + payload_bytes
+        reply = request._reply
+        request._reply = None
+        self._inflight_replies -= 1
+        # Inlined Network.send(self.port, wire_bytes, reply, request):
+        # term-for-term the same arithmetic (start + per_message +
+        # bytes/bandwidth, then + propagation), so response timings are
+        # bit-identical to the generic path.
+        port = self.port
+        now = self.sim.now
+        busy = port.tx_busy_until
+        start = now if now > busy else busy
+        tx_done = start + self._per_message_us + wire_bytes / self._bandwidth
+        port.tx_busy_until = tx_done
+        port.bytes_sent += wire_bytes
+        port.messages_sent += 1
+        self.sim.at_(tx_done + self._propagation_us, reply, request)
 
     # ------------------------------------------------------------------
     # Observability
@@ -248,7 +413,7 @@ class SsdPipeline:
         registry.gauge(f"{prefix}.trims", lambda: self.stats.trims)
         registry.gauge(f"{prefix}.read_bytes", lambda: self.stats.read_bytes)
         registry.gauge(f"{prefix}.write_bytes", lambda: self.stats.write_bytes)
-        registry.gauge(f"{prefix}.inflight_replies", lambda: len(self._reply_routes))
+        registry.gauge(f"{prefix}.inflight_replies", lambda: self._inflight_replies)
         register = getattr(self.scheduler, "register_metrics", None)
         if register is not None:
             register(registry)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 from repro.ssd.commands import IoOp
 
@@ -60,6 +60,13 @@ class FabricRequest:
     #: Snapshot of the per-SSD virtual view at completion time
     #: (read/write headroom in MB/s), if the scheduler exposes one.
     virtual_view: Optional[dict] = None
+
+    # -- transport plumbing (owned by the fabric layers, not callers) --
+    #: Reply route installed by the pipeline while the IO is in flight.
+    _reply: Any = field(default=None, repr=False, compare=False)
+    #: Application completion callback carried alongside the request so
+    #: the session's wire path needs no per-IO closure.
+    _on_complete: Any = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.lba < 0 or self.npages <= 0:
@@ -109,3 +116,80 @@ class FabricRequest:
             f"FabricRequest(#{self.request_id} {self.tenant_id} {self.op.value} "
             f"lba={self.lba} npages={self.npages} prio={self.priority})"
         )
+
+
+# ----------------------------------------------------------------------
+# Request free-list pool
+# ----------------------------------------------------------------------
+# Steady-state IO allocates no objects: a session that opts in (sets
+# ``recycle_requests``) acquires requests here and releases them after
+# the application's completion callback has run.  The contract is
+# ownership-based, not refcount-based: a releaser asserts that no
+# caller retains the request, which is why recycling is opt-in per
+# session -- the KV store and the trace replayer hand requests to
+# application code that may hold them past completion.
+_free_requests: List[FabricRequest] = []
+_FREE_REQUEST_CAP = 4096
+
+
+def acquire_request(
+    tenant_id: str,
+    op: IoOp,
+    lba: int,
+    npages: int,
+    priority: int = 0,
+    context: Any = None,
+) -> FabricRequest:
+    """Pooled constructor: field-for-field equivalent to
+    ``FabricRequest(...)`` but reusing a released instance when one is
+    available.  A fresh ``request_id`` is drawn either way."""
+    free = _free_requests
+    if not free:
+        return FabricRequest(
+            tenant_id=tenant_id,
+            op=op,
+            lba=lba,
+            npages=npages,
+            priority=priority,
+            context=context,
+        )
+    if lba < 0 or npages <= 0:
+        raise ValueError(f"invalid IO range: lba={lba} npages={npages}")
+    request = free.pop()
+    request.tenant_id = tenant_id
+    request.op = op
+    request.lba = lba
+    request.npages = npages
+    request.priority = priority
+    request.request_id = next(_request_ids)
+    request.context = context
+    request.t_client_submit = None
+    request.t_wire_submit = None
+    request.t_target_arrival = None
+    request.t_sched_enqueue = None
+    request.t_device_submit = None
+    request.t_device_complete = None
+    request.t_client_complete = None
+    request.credit_grant = 0
+    request.virtual_view = None
+    return request
+
+
+def release_request(request: FabricRequest) -> None:
+    """Return a request whose completion has fully propagated.
+
+    Clears the reference-bearing fields immediately (so a pooled
+    request never pins an application context graph) and parks the
+    object for the next :func:`acquire_request`.
+    """
+    request.context = None
+    request.virtual_view = None
+    request._reply = None
+    request._on_complete = None
+    if len(_free_requests) < _FREE_REQUEST_CAP:
+        _free_requests.append(request)
+
+
+def request_pool_size() -> int:
+    """Current free-list depth (test/diagnostic hook)."""
+    return len(_free_requests)

@@ -57,6 +57,52 @@ class CpuCostModel:
             cost += self.device_extra_us
         return cost
 
+    # -- precomputed pipeline costs -----------------------------------
+    # The pipeline's per-IO booking costs depend only on construction-
+    # time inputs (scheduler overheads, the Figure 16 knob, whether the
+    # backend is a real NVMe device), so they are folded into constants
+    # once instead of re-summed on every capsule.  The sums are kept in
+    # the exact order the inline expressions used, so the floats are
+    # bit-identical.
+
+    def submit_cost_us(
+        self,
+        scheduler_overhead_us: float = 0.0,
+        added_io_cost_us: float = 0.0,
+        real_device: bool = False,
+    ) -> float:
+        """Submission-path booking for one IO (fixed part)."""
+        cost = self.submit_fixed_us + scheduler_overhead_us + added_io_cost_us
+        if real_device:
+            cost += self.device_extra_us / 2.0
+        return cost
+
+    def complete_cost_us(
+        self, scheduler_overhead_us: float = 0.0, real_device: bool = False
+    ) -> float:
+        """Completion-path booking for one IO, excluding the per-page
+        data movement a read adds."""
+        cost = self.complete_fixed_us + scheduler_overhead_us
+        if real_device:
+            cost += self.device_extra_us / 2.0
+        return cost
+
+    def read_complete_cost_table(
+        self,
+        scheduler_overhead_us: float = 0.0,
+        real_device: bool = False,
+        size_classes: tuple = (1, 2, 4, 8, 16, 32, 64),
+    ) -> Dict[int, float]:
+        """``{npages: completion cost}`` for the common IO size classes.
+
+        The pipeline extends the table lazily for sizes outside
+        ``size_classes``; entries are always ``complete_cost_us() +
+        per_page_us * npages`` so the table can be rebuilt from scratch
+        whenever a construction-time input changes.
+        """
+        base = self.complete_cost_us(scheduler_overhead_us, real_device)
+        return {n: base + self.per_page_us * n for n in size_classes}
+
 
 #: Broadcom Stingray PS1100R ARM A72 core.
 SMARTNIC_CPU = CpuCostModel(
@@ -85,25 +131,44 @@ class NicCore:
     ``tag`` attributes the time for the overhead accounting in Table 1.
     """
 
+    __slots__ = ("sim", "name", "busy_until", "busy_us_total", "_by_tag")
+
     def __init__(self, sim: Simulator, name: str = "core0"):
         self.sim = sim
         self.name = name
         self.busy_until = 0.0
         self.busy_us_total = 0.0
-        self.us_by_tag: Dict[str, float] = {}
-        self.events_by_tag: Dict[str, int] = {}
+        # tag -> [total_us, events]: one ledger dict instead of two, so
+        # the hot booking path does a single lookup and mutates the
+        # record in place.
+        self._by_tag: Dict[str, list] = {}
 
     def book(self, cost_us: float, tag: str = "other") -> float:
         """Reserve core time; returns when the work finishes."""
         if cost_us < 0:
             raise ValueError("cost must be non-negative")
-        start = max(self.sim.now, self.busy_until)
-        done = start + cost_us
+        now = self.sim.now
+        busy = self.busy_until
+        done = (now if now > busy else busy) + cost_us
         self.busy_until = done
         self.busy_us_total += cost_us
-        self.us_by_tag[tag] = self.us_by_tag.get(tag, 0.0) + cost_us
-        self.events_by_tag[tag] = self.events_by_tag.get(tag, 0) + 1
+        record = self._by_tag.get(tag)
+        if record is None:
+            self._by_tag[tag] = [cost_us, 1]
+        else:
+            record[0] += cost_us
+            record[1] += 1
         return done
+
+    @property
+    def us_by_tag(self) -> Dict[str, float]:
+        """Core time attributed per component tag (fresh snapshot)."""
+        return {tag: record[0] for tag, record in self._by_tag.items()}
+
+    @property
+    def events_by_tag(self) -> Dict[str, int]:
+        """Booking counts per component tag (fresh snapshot)."""
+        return {tag: record[1] for tag, record in self._by_tag.items()}
 
     def utilization(self, elapsed_us: float) -> float:
         """Fraction of ``elapsed_us`` this core spent busy."""
@@ -114,9 +179,9 @@ class NicCore:
     def mean_cycles_by_tag(self) -> Dict[str, float]:
         """Average cycles per event per tag (paper Table 1a's unit)."""
         return {
-            tag: (self.us_by_tag[tag] / count) * CYCLES_PER_US
-            for tag, count in self.events_by_tag.items()
-            if count
+            tag: (record[0] / record[1]) * CYCLES_PER_US
+            for tag, record in self._by_tag.items()
+            if record[1]
         }
 
     def register_metrics(self, registry, prefix: str = None) -> None:
@@ -124,12 +189,13 @@ class NicCore:
         prefix = prefix or f"core.{self.name}"
         registry.gauge(f"{prefix}.busy_us", lambda: self.busy_us_total)
         registry.gauge(
-            f"{prefix}.bookings", lambda: sum(self.events_by_tag.values())
+            f"{prefix}.bookings",
+            lambda: sum(record[1] for record in self._by_tag.values()),
         )
         for tag in ("submit", "datapath", "complete"):
             registry.gauge(
                 f"{prefix}.busy_us.{tag}",
-                lambda tag=tag: self.us_by_tag.get(tag, 0.0),
+                lambda tag=tag: self._by_tag[tag][0] if tag in self._by_tag else 0.0,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

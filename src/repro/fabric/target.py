@@ -83,12 +83,21 @@ class NvmeOfTarget:
             namespace=getattr(session, "namespace", None),
         )
 
-    def receive_command(self, request: FabricRequest, session: "TenantSession", on_complete) -> None:
-        """Entry point for command capsules delivered by the network."""
+    def receive_command(
+        self, request: FabricRequest, session: "TenantSession", on_complete=None
+    ) -> None:
+        """Entry point for command capsules delivered by the network.
+
+        The application callback rides on the request itself
+        (``request._on_complete``), so the reply route is the session's
+        bound ``deliver_completion`` -- no per-IO closure.  The
+        ``on_complete`` parameter remains for callers that drive this
+        entry point directly.
+        """
+        if on_complete is not None:
+            request._on_complete = on_complete
         pipeline = self.pipeline(session.ssd_name)
-        pipeline.handle_arrival(
-            request, lambda req: session.deliver_completion(req, on_complete)
-        )
+        pipeline.handle_arrival(request, session.deliver_completion)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NvmeOfTarget({self.name}, ssds={self.ssd_names})"

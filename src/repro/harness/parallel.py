@@ -32,6 +32,7 @@ to, so single-threaded behaviour is unchanged.
 from __future__ import annotations
 
 import itertools
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -95,6 +96,26 @@ def _execute_pending(
         return [future.result() for future in futures]
 
 
+def _clamp_jobs(jobs: int) -> int:
+    """Clamp a requested worker count to the machine's CPU count.
+
+    Oversubscribing a sweep with more worker processes than cores only
+    adds scheduler churn and memory pressure; results are unchanged
+    either way (the merge is order-independent), so the clamp is safe.
+    A clamp is surfaced through the active observability session (when
+    one is capturing) rather than stdout, so drivers stay quiet.
+    """
+    cpu_count = os.cpu_count() or 1
+    if jobs <= cpu_count:
+        return jobs
+    from repro.obs.session import current_session
+
+    session = current_session()
+    if session is not None:
+        session.registry.counter("sweep.jobs_clamped").inc()
+    return cpu_count
+
+
 def run_sweep(
     points: Sequence[SweepPoint],
     jobs: int = 1,
@@ -105,8 +126,9 @@ def run_sweep(
     """Execute ``points`` and return their results in point order.
 
     ``jobs`` is the worker-process count; values <= 1 run serially
-    in-process.  The returned list always lines up with ``points`` by
-    index, regardless of completion order.
+    in-process, and values above ``os.cpu_count()`` are clamped to it
+    (see :func:`_clamp_jobs`).  The returned list always lines up with
+    ``points`` by index, regardless of completion order.
 
     ``cache`` selects the result cache: ``None`` uses the ambient
     configuration (:func:`repro.harness.cache.active_cache`, off unless
@@ -121,6 +143,8 @@ def run_sweep(
     indices = [p.index for p in points]
     if len(set(indices)) != len(indices):
         raise ValueError("sweep points must have unique indices")
+    jobs_requested = jobs
+    jobs = _clamp_jobs(jobs)
     store: Optional[ResultCache] = resolve_cache(cache)
     results: Dict[int, Any] = {}
     if store is None:
@@ -142,7 +166,10 @@ def run_sweep(
                 value = store.store(by_index[index], value, elapsed)
             results[index] = value
     if store is not None and before is not None:
-        store.record_run(name, store.stats.delta_since(before))
+        delta = store.stats.delta_since(before)
+        delta["jobs_requested"] = jobs_requested
+        delta["jobs_effective"] = jobs
+        store.record_run(name, delta)
     return [results[point.index] for point in points]
 
 

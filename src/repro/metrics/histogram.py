@@ -40,6 +40,14 @@ class LatencyHistogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        # value -> bucket index memo for the hot record() path.  The
+        # analytic simulation produces the same exact float latencies
+        # over and over (bookings are sums of a few profile constants),
+        # so the cache hit rate is high; it is bounded and simply
+        # dropped when full so adversarial streams cannot grow it.
+        self._index_cache: Dict[float, int] = {}
+
+    _INDEX_CACHE_CAP = 32768
 
     def _bucket_index(self, value: float) -> int:
         if value <= self.min_value:
@@ -57,7 +65,14 @@ class LatencyHistogram:
         """Add one observation (e.g. a completion latency in microseconds)."""
         if value < 0:
             raise ValueError(f"negative latency: {value}")
-        self._counts[self._bucket_index(value)] += 1
+        cache = self._index_cache
+        index = cache.get(value)
+        if index is None:
+            index = self._bucket_index(value)
+            if len(cache) >= self._INDEX_CACHE_CAP:
+                cache.clear()
+            cache[value] = index
+        self._counts[index] += 1
         self.count += 1
         self.total += value
         if value < self.min:

@@ -83,12 +83,41 @@ class IntervalSeries:
         self._sums: Dict[int, float] = {}
         self._counts: Dict[int, int] = {}
         self._lasts: Dict[int, float] = {}
+        # Deferred current-window accumulator: observations land here
+        # (one attribute bump each) and fold into the dicts only when
+        # the stream crosses a window boundary or a reader needs the
+        # finished series.  Mostly-monotone streams (every recorder in
+        # the simulator) thus pay dict updates per *window*, not per
+        # observation; out-of-order records just force an early flush.
+        self._cur_index: Optional[int] = None
+        self._cur_sum = 0.0
+        self._cur_count = 0
+        self._cur_last = 0.0
 
     def record(self, now_us: float, value: float) -> None:
         index = int(now_us // self.window_us)
-        self._sums[index] = self._sums.get(index, 0.0) + value
-        self._counts[index] = self._counts.get(index, 0) + 1
-        self._lasts[index] = value
+        if index == self._cur_index:
+            self._cur_sum += value
+            self._cur_count += 1
+            self._cur_last = value
+            return
+        self._flush()
+        self._cur_index = index
+        self._cur_sum = value
+        self._cur_count = 1
+        self._cur_last = value
+
+    def _flush(self) -> None:
+        """Fold the current-window accumulator into the window dicts."""
+        index = self._cur_index
+        if index is None:
+            return
+        self._sums[index] = self._sums.get(index, 0.0) + self._cur_sum
+        self._counts[index] = self._counts.get(index, 0) + self._cur_count
+        self._lasts[index] = self._cur_last
+        self._cur_index = None
+        self._cur_sum = 0.0
+        self._cur_count = 0
 
     def series(self) -> List[tuple]:
         """Sorted (window_start_us, aggregate) pairs.
@@ -100,6 +129,7 @@ class IntervalSeries:
         splicing the gap out.  ``mean`` and ``last`` windows have no
         meaningful zero, so those modes still skip empty windows.
         """
+        self._flush()
         if not self._sums:
             return []
         if self.mode == "sum":
@@ -131,6 +161,8 @@ class IntervalSeries:
             raise ValueError("cannot merge series with different window/mode")
         if self.mode == "last":
             raise ValueError("'last' mode is order-dependent and cannot be merged")
+        self._flush()
+        other._flush()
         for index, value in other._sums.items():
             self._sums[index] = self._sums.get(index, 0.0) + value
             self._counts[index] = self._counts.get(index, 0) + other._counts[index]

@@ -22,8 +22,19 @@ from typing import Dict, List, Tuple
 class KernelProbe:
     """Counters the :class:`~repro.sim.engine.Simulator` feeds when attached."""
 
-    def __init__(self) -> None:
-        self.fired_by_callback: Dict[str, int] = {}
+    def __init__(self, detailed: bool = True) -> None:
+        # Keyed by the callback object itself (bound methods hash and
+        # compare by (instance, function) in C): the hot counting path
+        # skips the __qualname__ attribute walk and aggregates to names
+        # only when somebody reads :attr:`fired_by_callback`.
+        self._fired_by_fn: Dict[object, int] = {}
+        #: With ``detailed=False`` the probe keeps only the totals --
+        #: the per-callback dict update is dropped from the hot path by
+        #: swapping :meth:`count_fire` for the plain counter, which is
+        #: what wall-clock rate measurements want.
+        self.detailed = detailed
+        if not detailed:
+            self.count_fire = self._count_fire_total  # type: ignore[method-assign]
         self.fired_total = 0
         self.heap_high_water = 0
         self.runs = 0
@@ -37,9 +48,26 @@ class KernelProbe:
     # ------------------------------------------------------------------
     def count_fire(self, fn) -> None:
         """One event callback fired."""
-        name = getattr(fn, "__qualname__", None) or repr(fn)
-        self.fired_by_callback[name] = self.fired_by_callback.get(name, 0) + 1
         self.fired_total += 1
+        by_fn = self._fired_by_fn
+        count = by_fn.get(fn)
+        if count is None:
+            by_fn[fn] = 1
+        else:
+            by_fn[fn] = count + 1
+
+    def _count_fire_total(self, fn) -> None:
+        """Totals-only fire counter (installed when ``detailed=False``)."""
+        self.fired_total += 1
+
+    @property
+    def fired_by_callback(self) -> Dict[str, int]:
+        """Fire counts aggregated by callback qualname (snapshot)."""
+        aggregated: Dict[str, int] = {}
+        for fn, count in self._fired_by_fn.items():
+            name = getattr(fn, "__qualname__", None) or repr(fn)
+            aggregated[name] = aggregated.get(name, 0) + count
+        return aggregated
 
     def begin_run(self, sim_now_us: float) -> None:
         self._run_wall_start = time.perf_counter()

@@ -366,6 +366,27 @@ class Simulator:
             probe.heap_high_water = len(self._heap)
         return event
 
+    def at_(self, time_us: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Like :meth:`at` but returns no handle, so it cannot be
+        cancelled.
+
+        The datapath schedules five events per IO and never cancels
+        any of them; skipping the Event-handle bookkeeping (free-list
+        pop here, refcount probe and free-list push at fire time --
+        ``entry[4] is None`` fails the recycling check's refcount test
+        naturally) takes a measurable slice off every hot event.
+        Firing order is identical to :meth:`at`: the same sequence
+        counter breaks timestamp ties.
+        """
+        if time_us < self.now:
+            raise SimulationError(f"Cannot schedule at t={time_us} before now={self.now}")
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, [time_us, seq, fn, args, None])
+        self._live += 1
+        probe = self.probe
+        if probe is not None and len(self._heap) > probe.heap_high_water:
+            probe.heap_high_water = len(self._heap)
+
     def process(self, gen: Generator[Any, Any, Any]) -> Process:
         """Start a generator-based process (see module docstring)."""
         return Process(self, gen)

@@ -24,11 +24,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Iterable, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.obs.trace import TraceType
 from repro.sim.engine import Simulator
-from repro.ssd.commands import DeviceCommand
+from repro.ssd.commands import DeviceCommand, IoOp
 from repro.ssd.ftl import Ftl
 from repro.ssd.geometry import SsdGeometry
 from repro.ssd.profiles import DCT983_PROFILE, DeviceProfile
@@ -86,6 +86,19 @@ class SsdDevice:
         self._wr_horizon: List[float] = [0.0] * self.geometry.num_channels
         self._gc_debt_us: List[float] = [0.0] * self.geometry.num_channels
         self._pending_writes: Deque[Tuple[DeviceCommand, CompletionCallback, float]] = deque()
+        # Buffer releases grouped by completion timestamp: commands
+        # whose last program finishes at the same instant share one
+        # drain event (and one admission pass) instead of one each.
+        self._drain_schedule: Dict[float, List[range]] = {}
+        self._drain_events: Dict[float, object] = {}
+        # Hot-path constants hoisted out of the per-command handlers.
+        self._exported_pages = self.geometry.exported_pages
+        self._t_ctrl_cmd_us = profile.t_ctrl_cmd_us
+        self._num_channels = self.geometry.num_channels
+        self._pages_per_block = self.geometry.pages_per_block
+        # The buffered-LPN multiset survives buffer.clear(), so the
+        # read path can probe it without a method call per page.
+        self._buffered_lpns = self.buffer._lpn_counts
         self.outstanding = 0
         self.stats = DeviceStats()
 
@@ -98,33 +111,62 @@ class SsdDevice:
 
     def submit(self, cmd: DeviceCommand, on_complete: CompletionCallback) -> None:
         """Accept a command; ``on_complete(cmd)`` fires at completion time."""
-        if cmd.lpn + cmd.npages > self.geometry.exported_pages:
+        npages = cmd.npages
+        if cmd.lpn + npages > self._exported_pages:
             raise ValueError(
-                f"{cmd!r} beyond exported capacity ({self.geometry.exported_pages} pages)"
+                f"{cmd!r} beyond exported capacity ({self._exported_pages} pages)"
             )
-        cmd.submit_time = self.sim.now
+        now = self.sim.now
+        cmd.submit_time = now
         self.outstanding += 1
-        ctrl_start = max(self.sim.now, self._ctrl_busy_until)
-        ctrl_done = ctrl_start + self.profile.t_ctrl_cmd_us
+        busy = self._ctrl_busy_until
+        ctrl_done = (now if now > busy else busy) + self._t_ctrl_cmd_us
         self._ctrl_busy_until = ctrl_done
-        if cmd.op.is_read:
-            self.stats.read_commands += 1
-            self.stats.read_bytes += cmd.size_bytes
-            self._book_read(cmd, on_complete, ctrl_done)
-        elif cmd.op.is_trim:
+        op = cmd.op
+        stats = self.stats
+        if op is IoOp.READ:
+            stats.read_commands += 1
+            stats.read_bytes += npages * 4096
+            if npages == 1:
+                # 4 KiB reads dominate the paper's workloads: the whole
+                # booking (buffer probe, channel lookup, one horizon
+                # touch, completion scheduling) runs inline here with
+                # ``Ftl.channel_of_lpn`` and ``_finalize`` unrolled.
+                profile = self.profile
+                lpn = cmd.lpn
+                if lpn in self._buffered_lpns:
+                    stats.buffer_read_hits += 1
+                    done = ctrl_done + profile.t_buf_read_us
+                else:
+                    ppn = self.ftl.page_map[lpn]
+                    if ppn < 0:
+                        channel = lpn % self._num_channels
+                    else:
+                        channel = (ppn // self._pages_per_block) % self._num_channels
+                    fg_horizon = self._fg_horizon
+                    horizon = fg_horizon[channel]
+                    channel_start = ctrl_done if ctrl_done > horizon else horizon
+                    page_done = channel_start + profile.t_read_xfer_us
+                    fg_horizon[channel] = page_done
+                    done = page_done + profile.t_sense_us
+                cmd.complete_time = done
+                self.sim.at_(done, self._complete, cmd, on_complete)
+            else:
+                self._book_read(cmd, on_complete, ctrl_done)
+        elif op is IoOp.TRIM:
             # Deallocate is a pure FTL-metadata operation: no channel
             # work, acknowledged once the controller processes it.
-            self.stats.trim_commands += 1
-            self.stats.trimmed_pages += cmd.npages
-            for lpn in range(cmd.lpn, cmd.lpn + cmd.npages):
+            stats.trim_commands += 1
+            stats.trimmed_pages += npages
+            for lpn in range(cmd.lpn, cmd.lpn + npages):
                 if not self.buffer.contains(lpn):
                     self.ftl.trim_page(lpn)
             self._finalize(cmd, on_complete, ctrl_done)
         else:
-            if cmd.npages > self.buffer.capacity:
-                raise ValueError(f"write of {cmd.npages} pages exceeds buffer capacity")
-            self.stats.write_commands += 1
-            self.stats.write_bytes += cmd.size_bytes
+            if npages > self.buffer.capacity:
+                raise ValueError(f"write of {npages} pages exceeds buffer capacity")
+            stats.write_commands += 1
+            stats.write_bytes += npages * 4096
             self._pending_writes.append((cmd, on_complete, ctrl_done))
             self._admit_pending_writes()
 
@@ -136,6 +178,15 @@ class SsdDevice:
         self._fg_horizon = [0.0] * self.geometry.num_channels
         self._wr_horizon = [0.0] * self.geometry.num_channels
         self._gc_debt_us = [0.0] * self.geometry.num_channels
+        # Cancel the in-flight buffer-drain events: their commands have
+        # completed (host-visible writes finalize at admission), but a
+        # stale drain firing after the buffer is cleared would release
+        # pages that no longer exist -- resurrecting completed state
+        # into the post-conditioning timeline.
+        for event in self._drain_events.values():
+            event.cancel()
+        self._drain_events.clear()
+        self._drain_schedule.clear()
         self.buffer.clear()
         self._pending_writes.clear()
         self.stats = DeviceStats()
@@ -167,23 +218,34 @@ class SsdDevice:
     # Read path
     # ------------------------------------------------------------------
     def _book_read(self, cmd: DeviceCommand, on_complete: CompletionCallback, start: float) -> None:
+        # Single-page reads never reach here: ``submit`` books them
+        # inline.  This is the multi-page striping path.
         profile = self.profile
+        buffered = self._buffered_lpns
+        fg_horizon = self._fg_horizon
+        channel_of_lpn = self.ftl.channel_of_lpn
+        t_buf_read_us = profile.t_buf_read_us
+        t_read_xfer_us = profile.t_read_xfer_us
         done = start
         touched_nand = False
+        hits = 0
         for lpn in range(cmd.lpn, cmd.lpn + cmd.npages):
-            if self.buffer.contains(lpn):
-                page_done = start + profile.t_buf_read_us
-                self.stats.buffer_read_hits += 1
+            if lpn in buffered:
+                page_done = start + t_buf_read_us
+                hits += 1
             else:
-                channel = self.ftl.channel_of_lpn(lpn)
+                channel = channel_of_lpn(lpn)
                 # Reads queue behind raw read/program occupancy only;
                 # GC work is suspended in their favour.
-                channel_start = max(start, self._fg_horizon[channel])
-                page_done = channel_start + profile.t_read_xfer_us
-                self._fg_horizon[channel] = page_done
+                horizon = fg_horizon[channel]
+                channel_start = start if start > horizon else horizon
+                page_done = channel_start + t_read_xfer_us
+                fg_horizon[channel] = page_done
                 touched_nand = True
             if page_done > done:
                 done = page_done
+        if hits:
+            self.stats.buffer_read_hits += hits
         if touched_nand:
             # NAND array sense is parallel across dies: it lengthens the
             # command but does not occupy the channel.
@@ -194,12 +256,25 @@ class SsdDevice:
     # Write path
     # ------------------------------------------------------------------
     def _admit_pending_writes(self) -> None:
-        while self._pending_writes:
-            cmd, on_complete, ready_time = self._pending_writes[0]
-            if not self.buffer.has_space(cmd.npages):
+        """Admit the whole eligible prefix of the pending-write queue.
+
+        FIFO admission: the loop stops at the first command the buffer
+        cannot hold, so a big write cannot be starved by smaller ones
+        arriving behind it.
+        """
+        pending = self._pending_writes
+        if not pending:
+            return
+        buffer = self.buffer
+        now = self.sim.now
+        while pending:
+            cmd, on_complete, ready_time = pending[0]
+            if not buffer.has_space(cmd.npages):
                 return
-            self._pending_writes.popleft()
-            self._admit_write(cmd, on_complete, max(self.sim.now, ready_time))
+            pending.popleft()
+            self._admit_write(
+                cmd, on_complete, ready_time if ready_time > now else now
+            )
 
     def _admit_write(
         self, cmd: DeviceCommand, on_complete: CompletionCallback, admit_time: float
@@ -285,10 +360,24 @@ class SsdDevice:
             )
             if page_done > last_program_done:
                 last_program_done = page_done
-        self.sim.at(last_program_done, self._on_programs_done, lpns)
+        # Commands whose programs drain at the same instant share one
+        # event: their buffer pages are released together (in admission
+        # order) and one admission pass runs for the whole batch.
+        schedule = self._drain_schedule
+        batch = schedule.get(last_program_done)
+        if batch is None:
+            schedule[last_program_done] = [lpns]
+            self._drain_events[last_program_done] = self.sim.at(
+                last_program_done, self._on_channel_drain, last_program_done
+            )
+        else:
+            batch.append(lpns)
 
-    def _on_programs_done(self, lpns: Iterable[int]) -> None:
-        self.buffer.release(lpns)
+    def _on_channel_drain(self, time_key: float) -> None:
+        self._drain_events.pop(time_key, None)
+        release = self.buffer.release
+        for lpns in self._drain_schedule.pop(time_key):
+            release(lpns)
         self._admit_pending_writes()
 
     # ------------------------------------------------------------------
@@ -296,7 +385,7 @@ class SsdDevice:
     # ------------------------------------------------------------------
     def _finalize(self, cmd: DeviceCommand, on_complete: CompletionCallback, done: float) -> None:
         cmd.complete_time = done
-        self.sim.at(done, self._complete, cmd, on_complete)
+        self.sim.at_(done, self._complete, cmd, on_complete)
 
     def _complete(self, cmd: DeviceCommand, on_complete: CompletionCallback) -> None:
         self.outstanding -= 1
@@ -333,7 +422,7 @@ class NullDevice:
             self.stats.write_commands += 1
             self.stats.write_bytes += cmd.size_bytes
         self.outstanding += 1
-        self.sim.schedule(0.0, self._complete, cmd, on_complete)
+        self.sim.at_(self.sim.now, self._complete, cmd, on_complete)
 
     def _complete(self, cmd: DeviceCommand, on_complete: CompletionCallback) -> None:
         self.outstanding -= 1

@@ -69,6 +69,10 @@ class FioWorker:
         self.spec = spec
         self.region = region
         self.rng = rng
+        # A fio worker only ever touches a request inside its own
+        # completion callback, so its session can recycle request
+        # objects through the free-list pool.
+        session.recycle_requests = True
         if spec.pattern == "random":
             self._pattern = RandomPattern(region, spec.io_pages, rng)
         else:
@@ -89,6 +93,19 @@ class FioWorker:
         self._rate = (
             spec.rate_limit_mbps * MBPS if spec.rate_limit_mbps is not None else None
         )
+        # Per-IO constants, resolved once.  A pure read or pure write
+        # mix needs no RNG draw per IO; an unpaced worker needs no rate
+        # check, so its issue path IS ``_issue_now`` (the instance
+        # attribute shadows the method).
+        self._io_bytes = spec.io_pages * 4096
+        if spec.read_ratio >= 1.0:
+            self._fixed_op: Optional[IoOp] = IoOp.READ
+        elif spec.read_ratio <= 0.0:
+            self._fixed_op = IoOp.WRITE
+        else:
+            self._fixed_op = None
+        if self._rate is None:
+            self._issue = self._issue_now  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -145,24 +162,34 @@ class FioWorker:
     def _issue_now(self) -> None:
         if not self.running:
             return
+        op = self._fixed_op
+        if op is None:
+            op = self._next_op()
         self.session.submit(
-            op=self._next_op(),
-            lba=self._pattern.next_lba(),
-            npages=self.spec.io_pages,
-            priority=self.spec.priority,
-            on_complete=self._on_complete,
+            op,
+            self._pattern.next_lba(),
+            self.spec.io_pages,
+            self.spec.priority,
+            self._on_complete,
         )
 
     def _on_complete(self, request: FabricRequest) -> None:
-        self.throughput.record(self.sim.now, request.size_bytes)
-        if request.op.is_read:
-            self.read_latency.record(request.inflight_latency_us)
-            self.read_e2e_latency.record(request.e2e_latency_us)
-            self.device_read_latency.record(request.device_latency_us)
+        # Latencies computed from the timestamps directly: the request
+        # is complete here, so the validating properties' None checks
+        # (and repeated attribute loads) are pure overhead.
+        complete = request.t_client_complete
+        inflight_us = complete - request.t_wire_submit
+        e2e_us = complete - request.t_client_submit
+        device_us = request.t_device_complete - request.t_device_submit
+        self.throughput.record(complete, self._io_bytes)
+        if request.op is IoOp.READ:
+            self.read_latency.record(inflight_us)
+            self.read_e2e_latency.record(e2e_us)
+            self.device_read_latency.record(device_us)
         else:
-            self.write_latency.record(request.inflight_latency_us)
-            self.write_e2e_latency.record(request.e2e_latency_us)
-            self.device_write_latency.record(request.device_latency_us)
+            self.write_latency.record(inflight_us)
+            self.write_e2e_latency.record(e2e_us)
+            self.device_write_latency.record(device_us)
         self._issue()
 
     # ------------------------------------------------------------------

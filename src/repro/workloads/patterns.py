@@ -36,9 +36,16 @@ class RandomPattern:
         self.io_pages = io_pages
         self.rng = rng
         self._slots = region.npages // io_pages
+        # ``randrange(n)`` with a single positive int argument reduces
+        # to ``_randbelow(n)`` after argument checks; binding the
+        # latter (whichever variant the Random instance selected)
+        # skips those checks per IO while consuming the identical
+        # generator sequence.  Fall back to randrange for Random-likes
+        # without the internal hook.
+        self._randbelow = getattr(rng, "_randbelow", rng.randrange)
 
     def next_lba(self) -> int:
-        return self.region.start + self.rng.randrange(self._slots) * self.io_pages
+        return self.region.start + self._randbelow(self._slots) * self.io_pages
 
 
 class SequentialPattern:

@@ -40,7 +40,7 @@ class TestTrimResponse:
         assert device.stats.trim_commands == 1
         assert device.stats.trimmed_pages == 64
         # The reply route must be consumed, not leaked.
-        assert len(pipeline._reply_routes) == 0
+        assert pipeline._inflight_replies == 0
 
     def test_trim_does_not_count_into_tenant_bytes(self, sim):
         """A 64-page deallocate must not attribute 256 KiB of

@@ -70,6 +70,42 @@ class TestRunSweep:
             run_sweep(points, jobs=2)
 
 
+class TestJobsClamp:
+    def test_oversubscribed_jobs_clamp_to_cpu_count(self, monkeypatch, tmp_path):
+        import repro.harness.parallel as parallel_mod
+        from repro.harness.cache import ResultCache
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 2)
+        cache = ResultCache(tmp_path / "cache")
+        points = [
+            SweepPoint(index=i, label=f"p{i}", fn=_square, kwargs={"value": i})
+            for i in range(4)
+        ]
+        with obs.capture() as session:
+            results = run_sweep(points, jobs=64, cache=cache, name="clamped")
+        assert [r["squared"] for r in results] == [0, 1, 4, 9]
+        record = cache.read_journal()[-1]
+        assert record["sweep"] == "clamped"
+        assert record["jobs_requested"] == 64
+        assert record["jobs_effective"] == 2
+        assert session.registry.counter("sweep.jobs_clamped").value == 1
+
+    def test_within_budget_jobs_unclamped(self, monkeypatch, tmp_path):
+        import repro.harness.parallel as parallel_mod
+        from repro.harness.cache import ResultCache
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 8)
+        cache = ResultCache(tmp_path / "cache")
+        points = [
+            SweepPoint(index=i, label=f"p{i}", fn=_square, kwargs={"value": i})
+            for i in range(2)
+        ]
+        run_sweep(points, jobs=2, cache=cache, name="unclamped")
+        record = cache.read_journal()[-1]
+        assert record["jobs_requested"] == 2
+        assert record["jobs_effective"] == 2
+
+
 class TestSweepBuilder:
     def test_points_get_sequential_indices_and_labels(self):
         sweep = Sweep("s")

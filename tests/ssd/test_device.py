@@ -261,6 +261,46 @@ class TestWriteBufferBehaviour:
         with pytest.raises(RuntimeError):
             clean_device.reset_time_state()
 
+    def test_reset_time_state_cancels_pending_drains(self, sim, clean_device):
+        """Regression: buffer-drain events scheduled before a reset must
+        not fire after it.
+
+        Writes complete host-side at admission, so the device can be
+        idle (``outstanding == 0``) while drain events are still queued
+        for the flash programs.  reset_time_state clears the drain
+        schedule and the buffer; a stale drain firing afterwards would
+        pop a missing schedule entry and release pages that no longer
+        exist.
+        """
+        done = []
+        for i in range(8):
+            clean_device.submit(DeviceCommand(IoOp.WRITE, i * 8, 8), done.append)
+        # Run just far enough for the host-side completions (DRAM
+        # latency) but not the channel drains (flash program time).
+        sim.run(until_us=100.0)
+        assert len(done) == 8
+        assert clean_device.outstanding == 0
+        assert clean_device._drain_events, "writes should leave drains queued"
+
+        fired = []
+        original = clean_device._on_channel_drain
+        clean_device._on_channel_drain = lambda key: (fired.append(key), original(key))
+
+        clean_device.reset_time_state()
+        assert not clean_device._drain_events
+        assert clean_device.buffer.occupied == 0
+
+        sim.run()  # drain the heap: cancelled events must be dead
+        assert fired == [], "stale drain fired after reset_time_state"
+
+        # The device still works normally after the reset.
+        clean_device._on_channel_drain = original
+        post = []
+        clean_device.submit(DeviceCommand(IoOp.WRITE, 0, 8), post.append)
+        sim.run()
+        assert len(post) == 1
+        assert clean_device.buffer.occupied == 0  # drained normally
+
 
 class TestConditioning:
     def test_clean_preconditioning_maps_everything(self, sim):
