@@ -8,6 +8,9 @@ Two representative workloads timed with the live kernel:
 * ``fig04`` -- the complete Figure 4 interference sweep at a reduced
   window, reporting wall seconds serial and with ``jobs=4`` (results
   are asserted identical, so the parallel column is pure wall-clock).
+  The report records how many workers the machine actually granted;
+  the parallel-speedup expectation is enforced only when that is >= 2
+  and recorded as skipped (with the reason) when jobs clamp to 1.
 
 Raw wall-clock rates are machine-dependent, so the fio-replay gate
 follows the ratio scheme of ``test_kernel_perf.py``: the measured
@@ -137,20 +140,52 @@ def test_fio_replay_rate():
     )
 
 
+#: Minimum fig04 speedup expected from a real multi-worker fan-out.
+#: Modest on purpose: the sweep has only six points of uneven cost, so
+#: perfect scaling is not on the table even with four cores.
+FIG04_REQUIRED_SPEEDUP = 1.2
+
+
 def test_fig04_interference_wall_clock():
     start = time.perf_counter()
     serial = fig04.run(measure_us=FIG04_MEASURE_US)
     serial_s = time.perf_counter() - start
 
+    jobs_requested = 4
+    jobs_effective = min(jobs_requested, os.cpu_count() or 1)
     start = time.perf_counter()
-    parallel = fig04.run(measure_us=FIG04_MEASURE_US, jobs=4)
+    parallel = fig04.run(measure_us=FIG04_MEASURE_US, jobs=jobs_requested)
     parallel_s = time.perf_counter() - start
 
+    speedup = serial_s / parallel_s
+    gated = jobs_effective >= 2
     _report["fig04"] = {
         "measure_us": FIG04_MEASURE_US,
         "serial_wall_seconds": round(serial_s, 3),
-        "jobs4_wall_seconds": round(parallel_s, 3),
-        "jobs4_speedup": round(serial_s / parallel_s, 3),
+        "jobs_requested": jobs_requested,
+        "jobs_effective": jobs_effective,
+        "parallel_wall_seconds": round(parallel_s, 3),
+        "parallel_speedup": round(speedup, 3),
+        "speedup_gate": (
+            f"enforced: >= {FIG04_REQUIRED_SPEEDUP * SPEEDUP_TOLERANCE:.2f}x"
+            if gated
+            else "skipped: jobs clamped to 1 on this machine -- a per-sweep "
+            "pool of one worker measures only fan-out overhead"
+        ),
     }
     _flush_report()
+
+    # Results never depend on the worker count.
     assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)
+
+    if not gated:
+        print(
+            f"fig04 speedup gate skipped ({_report['fig04']['speedup_gate']}); "
+            f"measured {speedup:.3f}x"
+        )
+        return
+    required = FIG04_REQUIRED_SPEEDUP * SPEEDUP_TOLERANCE
+    assert speedup >= required, (
+        f"fig04 jobs={jobs_effective} speedup is {speedup:.2f}x, below the "
+        f"gated {FIG04_REQUIRED_SPEEDUP}x (tolerance-adjusted floor {required:.2f}x)"
+    )

@@ -9,6 +9,10 @@ Commands:
   against the paper's (Section 2.2);
 * ``simulate`` -- ad-hoc multi-tenant run: pick a scheme, a device
   condition and a worker mix, get bandwidth/latency per tenant;
+* ``suite [--quick]`` -- regenerate *every* table/figure on one shared
+  worker pool via :mod:`repro.harness.orchestrator` (cost-model
+  scheduling, streaming execution; results identical to running each
+  experiment serially);
 * ``cache {stats,prune,clear}`` -- inspect or manage the sweep-point
   result cache that ``run --cache`` (or ``REPRO_CACHE=1``) populates;
 * ``profile <experiment>`` -- run one experiment under :mod:`cProfile`
@@ -157,6 +161,78 @@ def cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     report_cache()
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    """``repro suite`` -- regenerate the whole evaluation in one go."""
+    import json
+    import time
+
+    from repro.harness.orchestrator import run_suite, run_suite_serial, suite_experiments
+
+    names = None
+    if args.experiments:
+        names = [name for chunk in args.experiments for name in chunk.split(",") if name]
+    try:
+        specs = suite_experiments(quick=args.quick, names=names)
+    except KeyError as exc:
+        print(f"{exc.args[0]}; try: python -m repro list", file=sys.stderr)
+        return 2
+    cache = _cache_from_args(args)
+    started = time.perf_counter()
+
+    if args.serial:
+        results = run_suite_serial(specs, jobs=max(1, args.jobs), cache=cache)
+        report = {
+            "mode": "serial",
+            "jobs": max(1, args.jobs),
+            "wall_s": round(time.perf_counter() - started, 3),
+            "experiments": len(specs),
+        }
+    else:
+
+        def progress(event: str, payload: dict) -> None:
+            if event == "experiment":
+                print(
+                    f"  done {payload['experiment']:10s} "
+                    f"{payload['points']:3d} points "
+                    f"({payload['cache_hits']} cached, {payload['wall_s']:.1f}s)",
+                    file=sys.stderr,
+                )
+
+        suite = run_suite(
+            specs,
+            jobs=args.jobs if args.jobs > 0 else None,
+            cache=cache,
+            progress=progress if not args.quiet else None,
+        )
+        results = suite.results
+        report = {"mode": "orchestrated", **suite.report()}
+
+    if not args.quiet:
+        import importlib
+
+        for spec in specs:
+            module = importlib.import_module(spec.module_path)
+            print(module.summarize(results[spec.name]))
+            print()
+    print(
+        f"suite: {report['experiments']} experiments in {report['wall_s']:.1f}s "
+        f"({report['mode']}, jobs={report['jobs']})"
+        + (
+            f"; {report['points_total']} points, {report['cache_hits']} cached, "
+            f"{report['stolen_idle_s']:.1f}s overlapped"
+            if report["mode"] == "orchestrated"
+            else ""
+        ),
+        file=sys.stderr,
+    )
+    if args.json:
+        payload = {"report": report, "results": results}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+        print(f"suite results: {args.json}", file=sys.stderr)
     return 0
 
 
@@ -423,6 +499,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default .repro-cache; implies --cache)",
     )
     run_parser.set_defaults(fn=cmd_run)
+
+    suite_parser = sub.add_parser(
+        "suite",
+        help="regenerate every table/figure on one shared worker pool",
+    )
+    suite_parser.add_argument(
+        "--quick", action="store_true", help="scaled-down measurement windows"
+    )
+    suite_parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes shared by the whole suite "
+        "(default: the machine's CPU count; results are identical either way)",
+    )
+    suite_parser.add_argument(
+        "--experiments",
+        "-e",
+        action="append",
+        metavar="NAME[,NAME...]",
+        help="restrict to these experiments (repeatable; registry order is kept)",
+    )
+    suite_parser.add_argument(
+        "--serial",
+        action="store_true",
+        help="run each experiment to completion in turn (the pre-orchestrator "
+        "baseline; useful for timing comparisons and identity checks)",
+    )
+    suite_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-experiment summaries"
+    )
+    suite_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="dump the suite report and every experiment's results as JSON",
+    )
+    suite_parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse cached sweep-point results and cache fresh ones",
+    )
+    suite_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even if REPRO_CACHE is set",
+    )
+    suite_parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default .repro-cache; implies --cache)",
+    )
+    suite_parser.set_defaults(fn=cmd_suite)
 
     profile_parser = sub.add_parser(
         "profile", help="run one experiment under cProfile and print hot functions"

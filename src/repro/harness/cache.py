@@ -442,18 +442,15 @@ class ResultCache:
                 handle.write(line)
         except OSError:
             pass
+        from repro.obs import bump
         from repro.obs.session import current_session
 
         session = current_session()
         if session is None:
             return
         for key in ("hits", "misses", "writes", "uncacheable", "bytes_read", "bytes_written"):
-            amount = delta.get(key, 0)
-            if amount:
-                session.registry.counter(f"cache.{key}").inc(amount)
-        saved = delta.get("seconds_saved", 0.0)
-        if saved:
-            session.registry.counter("cache.seconds_saved").inc(saved)
+            bump(f"cache.{key}", delta.get(key, 0))
+        bump("cache.seconds_saved", delta.get("seconds_saved", 0.0))
         if session.tracer is not None:
             from repro.obs.trace import TraceType
 
@@ -462,15 +459,27 @@ class ResultCache:
             )
 
     def read_journal(self) -> List[dict]:
-        """The run journal as a list of dicts (empty when absent)."""
+        """The run journal as a list of dicts (empty when absent).
+
+        Torn or corrupt lines (a crashed writer, a truncated disk) are
+        skipped rather than raised: journal consumers -- stats output
+        and the suite cost model -- must degrade to "no data", never
+        fail a run.
+        """
         path = self.root / JOURNAL_NAME
         records = []
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 for line in handle:
                     line = line.strip()
-                    if line:
-                        records.append(json.loads(line))
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(record, dict):
+                        records.append(record)
         except OSError:
             pass
         return records

@@ -12,13 +12,15 @@ Runs the Figure 7-style workloads against each variant in
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.core.ablations import ABLATIONS
-from repro.harness.experiments.common import read_spec, run_workers, write_spec
+from repro.harness.experiments.common import Sweep, merge_rows, read_spec, run_workers, write_spec
 from repro.harness.report import format_table
 from repro.harness.testbed import TestbedConfig
 from repro.metrics.histogram import LatencyHistogram
+
+DEFAULT_VARIANTS = ("full", "fixed-threshold", "single-bucket", "no-slots", "static-cost")
 
 
 def _case_specs(case: str, workers: int):
@@ -36,45 +38,82 @@ def _case_specs(case: str, workers: int):
     return condition, specs, ["read"] * workers + ["write"] * workers
 
 
+def _point(
+    case: str, variant: str, measure_us: float, warmup_us: float, workers: int
+) -> dict:
+    """One (case, ablation variant) run."""
+    condition, specs, groups = _case_specs(case, workers)
+    scheduler_cls = ABLATIONS[variant]
+    results = run_workers(
+        TestbedConfig(
+            scheme="gimbal",
+            condition=condition,
+            scheduler_factory=scheduler_cls,
+        ),
+        specs,
+        warmup_us=warmup_us,
+        measure_us=measure_us,
+        region_pages=1600,
+    )
+    by_group: Dict[str, float] = {}
+    for worker, group in zip(results["workers"], groups):
+        by_group[group] = by_group.get(group, 0.0) + worker["bandwidth_mbps"]
+    tail = LatencyHistogram()
+    for worker in results["testbed"].workers:
+        tail.merge(worker.read_latency)
+        tail.merge(worker.write_latency)
+    return {
+        "case": case,
+        "variant": variant,
+        "by_group_mbps": by_group,
+        "total_mbps": results["total_bandwidth_mbps"],
+        "p99_us": tail.percentile(99.0),
+    }
+
+
+def sweep(
+    measure_us: float = 900_000.0,
+    warmup_us: float = 500_000.0,
+    workers: int = 8,
+    variants=DEFAULT_VARIANTS,
+):
+    """One point per (case, variant) in the original loop order."""
+    sw = Sweep("ablations")
+    for case in ("sizes-clean", "rw-clean", "rw-frag"):
+        for variant in variants:
+            sw.point(
+                _point,
+                label=f"case={case},variant={variant}",
+                case=case,
+                variant=variant,
+                measure_us=measure_us,
+                warmup_us=warmup_us,
+                workers=workers,
+            )
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    return {"experiment": "ablations", "rows": merge_rows(results)}
+
+
 def run(
     measure_us: float = 900_000.0,
     warmup_us: float = 500_000.0,
     workers: int = 8,
-    variants=("full", "fixed-threshold", "single-bucket", "no-slots", "static-cost"),
+    variants=DEFAULT_VARIANTS,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
 ) -> Dict[str, object]:
-    rows: List[dict] = []
-    for case in ("sizes-clean", "rw-clean", "rw-frag"):
-        condition, specs, groups = _case_specs(case, workers)
-        for variant in variants:
-            scheduler_cls = ABLATIONS[variant]
-            results = run_workers(
-                TestbedConfig(
-                    scheme="gimbal",
-                    condition=condition,
-                    scheduler_factory=scheduler_cls,
-                ),
-                specs,
-                warmup_us=warmup_us,
-                measure_us=measure_us,
-                region_pages=1600,
-            )
-            by_group: Dict[str, float] = {}
-            for worker, group in zip(results["workers"], groups):
-                by_group[group] = by_group.get(group, 0.0) + worker["bandwidth_mbps"]
-            tail = LatencyHistogram()
-            for worker in results["testbed"].workers:
-                tail.merge(worker.read_latency)
-                tail.merge(worker.write_latency)
-            rows.append(
-                {
-                    "case": case,
-                    "variant": variant,
-                    "by_group_mbps": by_group,
-                    "total_mbps": results["total_bandwidth_mbps"],
-                    "p99_us": tail.percentile(99.0),
-                }
-            )
-    return {"experiment": "ablations", "rows": rows}
+    return finalize(
+        sweep(
+            measure_us=measure_us,
+            warmup_us=warmup_us,
+            workers=workers,
+            variants=variants,
+        ).run(jobs=jobs, cache=cache, pool=pool)
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -15,10 +15,10 @@ share while holding write latency bounded.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.core import GimbalParams
-from repro.harness.experiments.common import read_spec, run_workers, write_spec
+from repro.harness.experiments.common import Sweep, merge_rows, read_spec, run_workers, write_spec
 from repro.harness.report import format_table
 from repro.harness.testbed import TestbedConfig
 from repro.metrics.histogram import LatencyHistogram
@@ -30,43 +30,79 @@ QLC_GIMBAL_PARAMS = GimbalParams(
 )
 
 
+def _point(
+    scheme: str, measure_us: float, warmup_us: float, workers_per_class: int
+) -> dict:
+    """One scheme's fragmented mixed read/write run on the QLC profile."""
+    specs = [read_spec(f"rd{i}", 1) for i in range(workers_per_class)]
+    specs += [write_spec(f"wr{i}", 1) for i in range(workers_per_class)]
+    results = run_workers(
+        TestbedConfig(
+            scheme=scheme,
+            condition="fragmented",
+            device_profile="qlc",
+            gimbal_params=QLC_GIMBAL_PARAMS,
+        ),
+        specs,
+        warmup_us=warmup_us,
+        measure_us=measure_us,
+        region_pages=1600,
+    )
+    read_bw = sum(w["bandwidth_mbps"] for w in results["workers"][:workers_per_class])
+    write_bw = sum(w["bandwidth_mbps"] for w in results["workers"][workers_per_class:])
+    read_latency = LatencyHistogram()
+    for worker in results["testbed"].workers[:workers_per_class]:
+        read_latency.merge(worker.read_latency)
+    return {
+        "scheme": scheme,
+        "read_mbps": read_bw,
+        "write_mbps": write_bw,
+        "read_avg_us": read_latency.mean,
+        "read_p99_us": read_latency.percentile(99.0),
+    }
+
+
+def sweep(
+    measure_us: float = 900_000.0,
+    warmup_us: float = 500_000.0,
+    workers_per_class: int = 8,
+    schemes=("gimbal", "vanilla", "flashfq"),
+):
+    """One point per scheme."""
+    sw = Sweep("ext-qlc")
+    for scheme in schemes:
+        sw.point(
+            _point,
+            label=f"scheme={scheme}",
+            scheme=scheme,
+            measure_us=measure_us,
+            warmup_us=warmup_us,
+            workers_per_class=workers_per_class,
+        )
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    return {"experiment": "qlc-extension", "rows": merge_rows(results)}
+
+
 def run(
     measure_us: float = 900_000.0,
     warmup_us: float = 500_000.0,
     workers_per_class: int = 8,
     schemes=("gimbal", "vanilla", "flashfq"),
+    jobs: int = 1,
+    cache=None,
+    pool=None,
 ) -> Dict[str, object]:
-    rows: List[dict] = []
-    for scheme in schemes:
-        specs = [read_spec(f"rd{i}", 1) for i in range(workers_per_class)]
-        specs += [write_spec(f"wr{i}", 1) for i in range(workers_per_class)]
-        results = run_workers(
-            TestbedConfig(
-                scheme=scheme,
-                condition="fragmented",
-                device_profile="qlc",
-                gimbal_params=QLC_GIMBAL_PARAMS,
-            ),
-            specs,
-            warmup_us=warmup_us,
+    return finalize(
+        sweep(
             measure_us=measure_us,
-            region_pages=1600,
-        )
-        read_bw = sum(w["bandwidth_mbps"] for w in results["workers"][:workers_per_class])
-        write_bw = sum(w["bandwidth_mbps"] for w in results["workers"][workers_per_class:])
-        read_latency = LatencyHistogram()
-        for worker in results["testbed"].workers[:workers_per_class]:
-            read_latency.merge(worker.read_latency)
-        rows.append(
-            {
-                "scheme": scheme,
-                "read_mbps": read_bw,
-                "write_mbps": write_bw,
-                "read_avg_us": read_latency.mean,
-                "read_p99_us": read_latency.percentile(99.0),
-            }
-        )
-    return {"experiment": "qlc-extension", "rows": rows}
+            warmup_us=warmup_us,
+            workers_per_class=workers_per_class,
+            schemes=schemes,
+        ).run(jobs=jobs, cache=cache, pool=pool)
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -50,17 +50,34 @@ def _point(host: str, size_kb: int, op: str, measure_us: float, seed: int) -> di
     }
 
 
-def run(
-    measure_us: float = 300_000.0, jobs: int = 1, root_seed: int = 42, cache=None
-) -> Dict[str, object]:
-    sweep = build_sweep(
+def sweep(measure_us: float = 300_000.0, root_seed: int = 42):
+    """Declare the figure's sweep points (one per host/size/op cell)."""
+    return build_sweep(
         "fig02",
         {"host": ("server", "smartnic"), "size_kb": IO_SIZES_KB, "op": ("rnd-read", "seq-write")},
         _point,
         root_seed=root_seed,
         measure_us=measure_us,
     )
-    return {"figure": "2", "rows": merge_rows(sweep.run(jobs=jobs, cache=cache))}
+
+
+def finalize(results) -> Dict[str, object]:
+    """Merge ordered point results into the figure's result dict."""
+    return {"figure": "2", "rows": merge_rows(results)}
+
+
+def run(
+    measure_us: float = 300_000.0,
+    jobs: int = 1,
+    root_seed: int = 42,
+    cache=None,
+    pool=None,
+) -> Dict[str, object]:
+    return finalize(
+        sweep(measure_us=measure_us, root_seed=root_seed).run(
+            jobs=jobs, cache=cache, pool=pool
+        )
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -8,53 +8,89 @@ one core suffices at 128 KiB.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.fabric.smartnic import SERVER_CPU, SMARTNIC_CPU
-from repro.harness.experiments.common import run_workers
+from repro.harness.experiments.common import Sweep, merge_rows
 from repro.harness.report import format_table
-from repro.harness.testbed import TestbedConfig
+from repro.harness.testbed import Testbed, TestbedConfig
 from repro.workloads import FioSpec
 
 CORE_COUNTS = (1, 2, 3, 4, 6, 8)
 NUM_SSDS = 4
 WORKERS_PER_SSD = 2
 
+_CPU_MODELS = {"server": SERVER_CPU, "smartnic": SMARTNIC_CPU}
 
-def run(measure_us: float = 300_000.0, core_counts=CORE_COUNTS) -> Dict[str, object]:
-    rows: List[dict] = []
-    for host, cpu_model in (("server", SERVER_CPU), ("smartnic", SMARTNIC_CPU)):
+_OPS = (
+    ("rnd-read", 1.0, "random"),
+    ("seq-write", 0.0, "sequential"),
+)
+
+
+def _point(host: str, cores: int, op: str, measure_us: float) -> dict:
+    """One (host CPU, core count, op) throughput measurement."""
+    read_ratio, pattern = next(
+        (ratio, pat) for name, ratio, pat in _OPS if name == op
+    )
+    testbed = Testbed(
+        TestbedConfig(
+            scheme="vanilla",
+            condition="clean",
+            num_ssds=NUM_SSDS,
+            num_cores=cores,
+            cpu_model=_CPU_MODELS[host],
+        )
+    )
+    for ssd_index in range(NUM_SSDS):
+        for worker_index in range(WORKERS_PER_SSD):
+            spec = FioSpec(
+                f"{op}-{ssd_index}-{worker_index}",
+                io_pages=1,
+                queue_depth=64,
+                read_ratio=read_ratio,
+                pattern=pattern,
+            )
+            testbed.add_worker(spec, ssd=f"ssd{ssd_index}", region_pages=4096)
+    results = testbed.run(warmup_us=100_000.0, measure_us=measure_us)
+    kiops = sum(worker["iops"] for worker in results["workers"]) / 1000.0
+    return {"host": host, "op": op, "cores": cores, "kiops": kiops}
+
+
+def sweep(measure_us: float = 300_000.0, core_counts=CORE_COUNTS):
+    """One point per (host, cores, op) in the original loop order."""
+    sw = Sweep("fig03")
+    for host in ("server", "smartnic"):
         for cores in core_counts:
-            for op_name, read_ratio, pattern in (
-                ("rnd-read", 1.0, "random"),
-                ("seq-write", 0.0, "sequential"),
-            ):
-                config = TestbedConfig(
-                    scheme="vanilla",
-                    condition="clean",
-                    num_ssds=NUM_SSDS,
-                    num_cores=cores,
-                    cpu_model=cpu_model,
+            for op, _ratio, _pattern in _OPS:
+                sw.point(
+                    _point,
+                    label=f"host={host},cores={cores},op={op}",
+                    host=host,
+                    cores=cores,
+                    op=op,
+                    measure_us=measure_us,
                 )
-                from repro.harness.testbed import Testbed
+    return sw
 
-                testbed = Testbed(config)
-                for ssd_index in range(NUM_SSDS):
-                    for worker_index in range(WORKERS_PER_SSD):
-                        spec = FioSpec(
-                            f"{op_name}-{ssd_index}-{worker_index}",
-                            io_pages=1,
-                            queue_depth=64,
-                            read_ratio=read_ratio,
-                            pattern=pattern,
-                        )
-                        testbed.add_worker(spec, ssd=f"ssd{ssd_index}", region_pages=4096)
-                results = testbed.run(warmup_us=100_000.0, measure_us=measure_us)
-                kiops = sum(worker["iops"] for worker in results["workers"]) / 1000.0
-                rows.append(
-                    {"host": host, "op": op_name, "cores": cores, "kiops": kiops}
-                )
-    return {"figure": "3", "rows": rows}
+
+def finalize(results) -> Dict[str, object]:
+    """Merge ordered point results into the figure's result dict."""
+    return {"figure": "3", "rows": merge_rows(results)}
+
+
+def run(
+    measure_us: float = 300_000.0,
+    core_counts=CORE_COUNTS,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
+) -> Dict[str, object]:
+    return finalize(
+        sweep(measure_us=measure_us, core_counts=core_counts).run(
+            jobs=jobs, cache=cache, pool=pool
+        )
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -42,14 +42,11 @@ def _point(neighbour: str, condition: str, measure_us: float, seed: int) -> dict
     return {"neighbour": neighbour, "victim_mbps": victim_bw, "neighbour_mbps": neighbour_bw}
 
 
-def run(
-    measure_us: float = 600_000.0,
-    condition: str = "clean",
-    jobs: int = 1,
-    root_seed: int = 42,
-    cache=None,
-) -> Dict[str, object]:
-    sweep = build_sweep(
+def sweep(
+    measure_us: float = 600_000.0, condition: str = "clean", root_seed: int = 42
+):
+    """Declare one point per neighbour shape."""
+    return build_sweep(
         "fig04",
         {"neighbour": [label for label, _ in NEIGHBOURS]},
         _point,
@@ -57,11 +54,27 @@ def run(
         condition=condition,
         measure_us=measure_us,
     )
-    return {
-        "figure": "4",
-        "condition": condition,
-        "rows": merge_rows(sweep.run(jobs=jobs, cache=cache)),
-    }
+
+
+def finalize(results, condition: str = "clean") -> Dict[str, object]:
+    """Merge ordered point results into the figure's result dict."""
+    return {"figure": "4", "condition": condition, "rows": merge_rows(results)}
+
+
+def run(
+    measure_us: float = 600_000.0,
+    condition: str = "clean",
+    jobs: int = 1,
+    root_seed: int = 42,
+    cache=None,
+    pool=None,
+) -> Dict[str, object]:
+    return finalize(
+        sweep(measure_us=measure_us, condition=condition, root_seed=root_seed).run(
+            jobs=jobs, cache=cache, pool=pool
+        ),
+        condition=condition,
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

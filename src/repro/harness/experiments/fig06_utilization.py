@@ -11,9 +11,9 @@ the work-conserving schemes.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from repro.harness.experiments.common import read_spec, run_workers, write_spec
+from repro.harness.experiments.common import Sweep, merge_rows, read_spec, run_workers, write_spec
 from repro.harness.report import format_table
 from repro.harness.testbed import SCHEMES, TestbedConfig
 
@@ -25,7 +25,66 @@ CASES = (
     ("F-W", "fragmented", 1, False),
 )
 
+_CASE_BY_LABEL = {label: (condition, io_pages, is_read) for label, condition, io_pages, is_read in CASES}
+
 NUM_WORKERS = 16
+
+
+def _point(
+    case: str, scheme: str, num_workers: int, warmup_us: float, measure_us: float
+) -> dict:
+    """One (case, scheme) run of ``num_workers`` identical tenants."""
+    condition, io_pages, is_read = _CASE_BY_LABEL[case]
+    make = read_spec if is_read else write_spec
+    specs = [make(f"w{i}", io_pages) for i in range(num_workers)]
+    results = run_workers(
+        TestbedConfig(scheme=scheme, condition=condition),
+        specs,
+        warmup_us=warmup_us,
+        measure_us=measure_us,
+        region_pages=1600,
+    )
+    latency_key = "read_latency" if is_read else "write_latency"
+    total_count = sum(w[latency_key]["count"] for w in results["workers"])
+    mean_latency = (
+        sum(w[latency_key]["mean"] * w[latency_key]["count"] for w in results["workers"])
+        / total_count
+        if total_count
+        else 0.0
+    )
+    return {
+        "case": case,
+        "scheme": scheme,
+        "aggregate_mbps": results["total_bandwidth_mbps"],
+        "avg_latency_us": mean_latency,
+    }
+
+
+def sweep(
+    measure_us: float = 1_000_000.0,
+    warmup_us: float = 500_000.0,
+    schemes=SCHEMES,
+    num_workers: int = NUM_WORKERS,
+):
+    """One point per (case, scheme) in the original loop order."""
+    sw = Sweep("fig06")
+    for label, _condition, _io_pages, _is_read in CASES:
+        for scheme in schemes:
+            sw.point(
+                _point,
+                label=f"case={label},scheme={scheme}",
+                case=label,
+                scheme=scheme,
+                num_workers=num_workers,
+                warmup_us=warmup_us,
+                measure_us=measure_us,
+            )
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    """Merge ordered point results into the figure's result dict."""
+    return {"figure": "6", "rows": merge_rows(results)}
 
 
 def run(
@@ -33,36 +92,18 @@ def run(
     warmup_us: float = 500_000.0,
     schemes=SCHEMES,
     num_workers: int = NUM_WORKERS,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
 ) -> Dict[str, object]:
-    rows: List[dict] = []
-    for label, condition, io_pages, is_read in CASES:
-        for scheme in schemes:
-            make = read_spec if is_read else write_spec
-            specs = [make(f"w{i}", io_pages) for i in range(num_workers)]
-            results = run_workers(
-                TestbedConfig(scheme=scheme, condition=condition),
-                specs,
-                warmup_us=warmup_us,
-                measure_us=measure_us,
-                region_pages=1600,
-            )
-            latency_key = "read_latency" if is_read else "write_latency"
-            total_count = sum(w[latency_key]["count"] for w in results["workers"])
-            mean_latency = (
-                sum(w[latency_key]["mean"] * w[latency_key]["count"] for w in results["workers"])
-                / total_count
-                if total_count
-                else 0.0
-            )
-            rows.append(
-                {
-                    "case": label,
-                    "scheme": scheme,
-                    "aggregate_mbps": results["total_bandwidth_mbps"],
-                    "avg_latency_us": mean_latency,
-                }
-            )
-    return {"figure": "6", "rows": rows}
+    return finalize(
+        sweep(
+            measure_us=measure_us,
+            warmup_us=warmup_us,
+            schemes=schemes,
+            num_workers=num_workers,
+        ).run(jobs=jobs, cache=cache, pool=pool)
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -95,6 +95,39 @@ def _point(
     ]
 
 
+def sweep(
+    measure_us: float = 1_500_000.0,
+    warmup_us: float = 700_000.0,
+    schemes=SCHEMES,
+    workers_per_class: int = 16,
+    root_seed: int = 42,
+    standalone_measure_us: Optional[float] = None,
+):
+    # Not build_sweep: the scheme axis is a parameter, so the sweep is
+    # declared point by point to keep labels seed-stable.
+    sw = Sweep("fig07", root_seed=root_seed)
+    for sub in SUBEXPERIMENTS:
+        for scheme in schemes:
+            label = f"sub={sub},scheme={scheme}"
+            sw.point(
+                _point,
+                label=label,
+                sub=sub,
+                scheme=scheme,
+                workers_per_class=workers_per_class,
+                warmup_us=warmup_us,
+                measure_us=measure_us,
+                seed=sw.seed_for(label),
+                standalone_measure_us=standalone_measure_us,
+            )
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    """Merge ordered point results into the figure's result dict."""
+    return {"figure": "7", "rows": merge_rows(results)}
+
+
 def run(
     measure_us: float = 1_500_000.0,
     warmup_us: float = 700_000.0,
@@ -104,25 +137,18 @@ def run(
     root_seed: int = 42,
     standalone_measure_us: Optional[float] = None,
     cache=None,
+    pool=None,
 ) -> Dict[str, object]:
-    # Not build_sweep: the scheme axis is a run() parameter, so the
-    # sweep is declared point by point to keep labels seed-stable.
-    sweep = Sweep("fig07", root_seed=root_seed)
-    for sub in SUBEXPERIMENTS:
-        for scheme in schemes:
-            label = f"sub={sub},scheme={scheme}"
-            sweep.point(
-                _point,
-                label=label,
-                sub=sub,
-                scheme=scheme,
-                workers_per_class=workers_per_class,
-                warmup_us=warmup_us,
-                measure_us=measure_us,
-                seed=sweep.seed_for(label),
-                standalone_measure_us=standalone_measure_us,
-            )
-    return {"figure": "7", "rows": merge_rows(sweep.run(jobs=jobs, cache=cache))}
+    return finalize(
+        sweep(
+            measure_us=measure_us,
+            warmup_us=warmup_us,
+            schemes=schemes,
+            workers_per_class=workers_per_class,
+            root_seed=root_seed,
+            standalone_measure_us=standalone_measure_us,
+        ).run(jobs=jobs, cache=cache, pool=pool)
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.harness.experiments.common import read_spec, run_workers, write_spec
+from repro.harness.experiments.common import Sweep, merge_rows, read_spec, run_workers, write_spec
 from repro.harness.report import format_table
 from repro.harness.testbed import SCHEMES, TestbedConfig
 from repro.metrics.histogram import LatencyHistogram
@@ -22,43 +22,88 @@ CASES = (
     ("frag-4KB", "fragmented", 1),
 )
 
+_CASE_BY_LABEL = {label: (condition, io_pages) for label, condition, io_pages in CASES}
+
+
+def _point(
+    case: str, scheme: str, workers_per_class: int, warmup_us: float, measure_us: float
+) -> List[dict]:
+    """One (case, scheme) run; returns the read row then the write row."""
+    condition, io_pages = _CASE_BY_LABEL[case]
+    specs = [read_spec(f"rd{i}", io_pages) for i in range(workers_per_class)]
+    specs += [write_spec(f"wr{i}", io_pages) for i in range(workers_per_class)]
+    results = run_workers(
+        TestbedConfig(scheme=scheme, condition=condition),
+        specs,
+        warmup_us=warmup_us,
+        measure_us=measure_us,
+        region_pages=1600,
+    )
+    testbed = results["testbed"]
+    merged = {"read": LatencyHistogram(), "write": LatencyHistogram()}
+    for worker in testbed.workers:
+        merged["read"].merge(worker.read_latency)
+        merged["write"].merge(worker.write_latency)
+    rows = []
+    for op_name, histogram in merged.items():
+        summary = histogram.summary()
+        rows.append(
+            {
+                "case": case,
+                "scheme": scheme,
+                "op": op_name,
+                "avg_us": summary["mean"],
+                "p99_us": summary["p99"],
+                "p999_us": summary["p999"],
+            }
+        )
+    return rows
+
+
+def sweep(
+    measure_us: float = 1_500_000.0,
+    warmup_us: float = 700_000.0,
+    schemes=SCHEMES,
+    workers_per_class: int = 16,
+):
+    """One point per (case, scheme); each yields a read and a write row."""
+    sw = Sweep("fig08")
+    for label, _condition, _io_pages in CASES:
+        for scheme in schemes:
+            sw.point(
+                _point,
+                label=f"case={label},scheme={scheme}",
+                case=label,
+                scheme=scheme,
+                workers_per_class=workers_per_class,
+                warmup_us=warmup_us,
+                measure_us=measure_us,
+            )
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    """Merge ordered point results into the figure's result dict."""
+    return {"figure": "8", "rows": merge_rows(results)}
+
 
 def run(
     measure_us: float = 1_500_000.0,
     warmup_us: float = 700_000.0,
     schemes=SCHEMES,
     workers_per_class: int = 16,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
 ) -> Dict[str, object]:
-    rows: List[dict] = []
-    for label, condition, io_pages in CASES:
-        for scheme in schemes:
-            specs = [read_spec(f"rd{i}", io_pages) for i in range(workers_per_class)]
-            specs += [write_spec(f"wr{i}", io_pages) for i in range(workers_per_class)]
-            results = run_workers(
-                TestbedConfig(scheme=scheme, condition=condition),
-                specs,
-                warmup_us=warmup_us,
-                measure_us=measure_us,
-                region_pages=1600,
-            )
-            testbed = results["testbed"]
-            merged = {"read": LatencyHistogram(), "write": LatencyHistogram()}
-            for worker in testbed.workers:
-                merged["read"].merge(worker.read_latency)
-                merged["write"].merge(worker.write_latency)
-            for op_name, histogram in merged.items():
-                summary = histogram.summary()
-                rows.append(
-                    {
-                        "case": label,
-                        "scheme": scheme,
-                        "op": op_name,
-                        "avg_us": summary["mean"],
-                        "p99_us": summary["p99"],
-                        "p999_us": summary["p999"],
-                    }
-                )
-    return {"figure": "8", "rows": rows}
+    return finalize(
+        sweep(
+            measure_us=measure_us,
+            warmup_us=warmup_us,
+            schemes=schemes,
+            workers_per_class=workers_per_class,
+        ).run(jobs=jobs, cache=cache, pool=pool)
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

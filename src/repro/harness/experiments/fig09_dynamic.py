@@ -12,8 +12,9 @@ and write bandwidth converges to the fair share.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
+from repro.harness.experiments.common import Sweep
 from repro.harness.report import format_series
 from repro.harness.testbed import Testbed, TestbedConfig
 from repro.metrics.throughput import IntervalSeries
@@ -21,13 +22,14 @@ from repro.ssd.commands import IoOp
 from repro.workloads import FioSpec
 
 
-def run(
-    phase_us: float = 500_000.0,
-    sample_window_us: float = 100_000.0,
-    num_readers: int = 8,
-    num_writers: int = 8,
-    condition: str = "fragmented",
+def _point(
+    phase_us: float,
+    sample_window_us: float,
+    num_readers: int,
+    num_writers: int,
+    condition: str,
 ) -> Dict[str, object]:
+    """The whole dynamic run is one simulation, hence one sweep point."""
     testbed = Testbed(TestbedConfig(scheme="gimbal", condition=condition))
     readers = [
         testbed.add_worker(
@@ -102,6 +104,51 @@ def run(
         "latency_series": {key: series.series() for key, series in latency.items()},
         "write_cost_series": write_cost_series.series(),
     }
+
+
+def sweep(
+    phase_us: float = 500_000.0,
+    sample_window_us: float = 100_000.0,
+    num_readers: int = 8,
+    num_writers: int = 8,
+    condition: str = "fragmented",
+):
+    sw = Sweep("fig09")
+    sw.point(
+        _point,
+        label="dynamic",
+        phase_us=phase_us,
+        sample_window_us=sample_window_us,
+        num_readers=num_readers,
+        num_writers=num_writers,
+        condition=condition,
+    )
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    return results[0]
+
+
+def run(
+    phase_us: float = 500_000.0,
+    sample_window_us: float = 100_000.0,
+    num_readers: int = 8,
+    num_writers: int = 8,
+    condition: str = "fragmented",
+    jobs: int = 1,
+    cache=None,
+    pool=None,
+) -> Dict[str, object]:
+    return finalize(
+        sweep(
+            phase_us=phase_us,
+            sample_window_us=sample_window_us,
+            num_readers=num_readers,
+            num_writers=num_writers,
+            condition=condition,
+        ).run(jobs=jobs, cache=cache, pool=pool)
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

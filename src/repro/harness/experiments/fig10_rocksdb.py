@@ -14,11 +14,11 @@ Pass ``num_jbofs=3, instances=24`` for the full-scale configuration.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
+from repro.harness.experiments.common import Sweep, merge_rows
 from repro.harness.kvcluster import KvCluster, KvClusterConfig
 from repro.harness.report import format_table
-from repro.harness.testbed import SCHEMES
 
 WORKLOADS = ("A", "B", "C", "D", "F")
 
@@ -48,16 +48,42 @@ def run_one(
     }
 
 
-def run(
+def sweep(
     schemes=("gimbal", "reflex", "parda", "flashfq"),
     workloads=WORKLOADS,
     **kwargs,
-) -> Dict[str, object]:
-    rows: List[dict] = []
+):
+    """One point per (workload, scheme) in the original loop order."""
+    sw = Sweep("fig10")
     for workload in workloads:
         for scheme in schemes:
-            rows.append(run_one(scheme, workload, **kwargs))
-    return {"figure": "10", "rows": rows}
+            sw.point(
+                run_one,
+                label=f"workload={workload},scheme={scheme}",
+                scheme=scheme,
+                workload=workload,
+                **kwargs,
+            )
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    return {"figure": "10", "rows": merge_rows(results)}
+
+
+def run(
+    schemes=("gimbal", "reflex", "parda", "flashfq"),
+    workloads=WORKLOADS,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
+    **kwargs,
+) -> Dict[str, object]:
+    return finalize(
+        sweep(schemes=schemes, workloads=workloads, **kwargs).run(
+            jobs=jobs, cache=cache, pool=pool
+        )
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -12,32 +12,62 @@ Scaled defaults sweep 1..6 instances over one JBOF (the paper sweeps
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
+from repro.harness.experiments.common import Sweep, merge_rows
 from repro.harness.experiments.fig10_rocksdb import run_one
 from repro.harness.report import format_table
 
 DEFAULT_SWEEP = (1, 2, 4, 6)
 
 
-def run(
+def _point(workload: str, instances: int, **kwargs) -> dict:
+    """One Gimbal (workload, instance count) cell, reshaped for the figure."""
+    result = run_one("gimbal", workload, instances=instances, **kwargs)
+    return {
+        "workload": workload,
+        "instances": instances,
+        "kops": result["kops"],
+        "read_avg_us": result["read_avg_us"],
+    }
+
+
+def sweep(
     workloads: Sequence[str] = ("A", "C", "F"),
     instance_counts: Sequence[int] = DEFAULT_SWEEP,
     **kwargs,
-) -> Dict[str, object]:
-    rows: List[dict] = []
+):
+    """One point per (workload, instance count) in the original loop order."""
+    sw = Sweep("fig11-12")
     for workload in workloads:
         for count in instance_counts:
-            result = run_one("gimbal", workload, instances=count, **kwargs)
-            rows.append(
-                {
-                    "workload": workload,
-                    "instances": count,
-                    "kops": result["kops"],
-                    "read_avg_us": result["read_avg_us"],
-                }
+            sw.point(
+                _point,
+                label=f"workload={workload},instances={count}",
+                workload=workload,
+                instances=count,
+                **kwargs,
             )
-    return {"figure": "11+12", "rows": rows}
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    return {"figure": "11+12", "rows": merge_rows(results)}
+
+
+def run(
+    workloads: Sequence[str] = ("A", "C", "F"),
+    instance_counts: Sequence[int] = DEFAULT_SWEEP,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
+    **kwargs,
+) -> Dict[str, object]:
+    return finalize(
+        sweep(workloads=workloads, instance_counts=instance_counts, **kwargs).run(
+            jobs=jobs, cache=cache, pool=pool
+        )
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -14,8 +14,9 @@ load balancer a further ~19%.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
+from repro.harness.experiments.common import Sweep, merge_rows
 from repro.harness.kvcluster import KvCluster, KvClusterConfig
 from repro.harness.report import format_table
 
@@ -25,6 +26,65 @@ VARIANTS = (
     ("+FC+LB", dict(flow_control=True, load_balance=True)),
 )
 
+_TOGGLES_BY_VARIANT = dict(VARIANTS)
+
+
+def _point(
+    workload: str,
+    variant: str,
+    instances: int,
+    record_count: int,
+    warmup_us: float,
+    measure_us: float,
+) -> dict:
+    """One (workload, client-configuration) cluster run."""
+    cluster = KvCluster(
+        KvClusterConfig(
+            scheme="gimbal",
+            condition="fragmented",
+            num_jbofs=1,
+            **_TOGGLES_BY_VARIANT[variant],
+        )
+    )
+    for index in range(instances):
+        cluster.add_instance(f"db{index}", workload, record_count=record_count)
+    cluster.load_all()
+    results = cluster.run(warmup_us=warmup_us, measure_us=measure_us)
+    return {
+        "workload": workload,
+        "variant": variant,
+        "kops": results["total_kops"],
+        "read_p999_us": results["read_p999_us"],
+    }
+
+
+def sweep(
+    workloads=("A", "B", "C", "D", "F"),
+    instances: int = 8,
+    record_count: int = 2048,
+    warmup_us: float = 300_000.0,
+    measure_us: float = 700_000.0,
+):
+    """One point per (workload, variant) in the original loop order."""
+    sw = Sweep("fig13")
+    for workload in workloads:
+        for label, _toggles in VARIANTS:
+            sw.point(
+                _point,
+                label=f"workload={workload},variant={label}",
+                workload=workload,
+                variant=label,
+                instances=instances,
+                record_count=record_count,
+                warmup_us=warmup_us,
+                measure_us=measure_us,
+            )
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    return {"figure": "13", "rows": merge_rows(results)}
+
 
 def run(
     workloads=("A", "B", "C", "D", "F"),
@@ -32,31 +92,19 @@ def run(
     record_count: int = 2048,
     warmup_us: float = 300_000.0,
     measure_us: float = 700_000.0,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
 ) -> Dict[str, object]:
-    rows: List[dict] = []
-    for workload in workloads:
-        for label, toggles in VARIANTS:
-            cluster = KvCluster(
-                KvClusterConfig(
-                    scheme="gimbal",
-                    condition="fragmented",
-                    num_jbofs=1,
-                    **toggles,
-                )
-            )
-            for index in range(instances):
-                cluster.add_instance(f"db{index}", workload, record_count=record_count)
-            cluster.load_all()
-            results = cluster.run(warmup_us=warmup_us, measure_us=measure_us)
-            rows.append(
-                {
-                    "workload": workload,
-                    "variant": label,
-                    "kops": results["total_kops"],
-                    "read_p999_us": results["read_p999_us"],
-                }
-            )
-    return {"figure": "13", "rows": rows}
+    return finalize(
+        sweep(
+            workloads=workloads,
+            instances=instances,
+            record_count=record_count,
+            warmup_us=warmup_us,
+            measure_us=measure_us,
+        ).run(jobs=jobs, cache=cache, pool=pool)
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -75,15 +75,14 @@ def _point(
     }
 
 
-def run(
+def sweep(
     duration_us: float = 500_000.0,
     queue_depth: int = 32,
     read_ratios=READ_RATIOS,
-    jobs: int = 1,
     root_seed: int = 42,
-    cache=None,
-) -> Dict[str, object]:
-    sweep = build_sweep(
+):
+    """Declare one point per (condition, read ratio) cell."""
+    return build_sweep(
         "fig14",
         {"condition": ("clean", "fragmented"), "read_ratio": read_ratios},
         _point,
@@ -91,7 +90,30 @@ def run(
         queue_depth=queue_depth,
         duration_us=duration_us,
     )
-    return {"figure": "14", "rows": merge_rows(sweep.run(jobs=jobs, cache=cache))}
+
+
+def finalize(results) -> Dict[str, object]:
+    """Merge ordered point results into the figure's result dict."""
+    return {"figure": "14", "rows": merge_rows(results)}
+
+
+def run(
+    duration_us: float = 500_000.0,
+    queue_depth: int = 32,
+    read_ratios=READ_RATIOS,
+    jobs: int = 1,
+    root_seed: int = 42,
+    cache=None,
+    pool=None,
+) -> Dict[str, object]:
+    return finalize(
+        sweep(
+            duration_us=duration_us,
+            queue_depth=queue_depth,
+            read_ratios=read_ratios,
+            root_seed=root_seed,
+        ).run(jobs=jobs, cache=cache, pool=pool)
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

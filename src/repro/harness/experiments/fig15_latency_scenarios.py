@@ -10,8 +10,9 @@ larger IOs degrading the most.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict
 
+from repro.harness.experiments.common import Sweep, merge_rows
 from repro.harness.report import format_table
 from repro.sim import Simulator
 from repro.ssd import DeviceCommand, IoOp, SsdDevice, precondition_clean, precondition_fragmented
@@ -66,15 +67,42 @@ def _scenario_latency(scenario: str, io_pages: int, duration_us: float) -> float
     return state["latency"] / max(state["count"], 1)
 
 
-def run(duration_us: float = 300_000.0, io_sizes_kb=IO_SIZES_KB) -> Dict[str, object]:
-    rows: List[dict] = []
+def _point(scenario: str, size_kb: int, duration_us: float) -> dict:
+    latency = _scenario_latency(scenario, size_kb // 4, duration_us)
+    return {"scenario": scenario, "size_kb": size_kb, "avg_latency_us": latency}
+
+
+def sweep(duration_us: float = 300_000.0, io_sizes_kb=IO_SIZES_KB):
+    """One point per (scenario, IO size) in the original loop order."""
+    sw = Sweep("fig15")
     for scenario in SCENARIOS:
         for size_kb in io_sizes_kb:
-            latency = _scenario_latency(scenario, size_kb // 4, duration_us)
-            rows.append(
-                {"scenario": scenario, "size_kb": size_kb, "avg_latency_us": latency}
+            sw.point(
+                _point,
+                label=f"scenario={scenario},size_kb={size_kb}",
+                scenario=scenario,
+                size_kb=size_kb,
+                duration_us=duration_us,
             )
-    return {"figure": "15", "rows": rows}
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    return {"figure": "15", "rows": merge_rows(results)}
+
+
+def run(
+    duration_us: float = 300_000.0,
+    io_sizes_kb=IO_SIZES_KB,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
+) -> Dict[str, object]:
+    return finalize(
+        sweep(duration_us=duration_us, io_sizes_kb=io_sizes_kb).run(
+            jobs=jobs, cache=cache, pool=pool
+        )
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

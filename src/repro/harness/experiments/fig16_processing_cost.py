@@ -65,21 +65,37 @@ def _point(case: str, added_cost_us: float, measure_us: float, seed: int) -> dic
     return {"case": case, "added_cost_us": added_cost_us, "gbps": bandwidth}
 
 
-def run(
-    measure_us: float = 300_000.0,
-    added_costs=ADDED_COSTS_US,
-    jobs: int = 1,
-    root_seed: int = 42,
-    cache=None,
-) -> Dict[str, object]:
-    sweep = build_sweep(
+def sweep(
+    measure_us: float = 300_000.0, added_costs=ADDED_COSTS_US, root_seed: int = 42
+):
+    """Declare one point per (case, added cost) cell."""
+    return build_sweep(
         "fig16",
         {"case": CASES, "added_cost_us": added_costs},
         _point,
         root_seed=root_seed,
         measure_us=measure_us,
     )
-    return {"figure": "16", "rows": merge_rows(sweep.run(jobs=jobs, cache=cache))}
+
+
+def finalize(results) -> Dict[str, object]:
+    """Merge ordered point results into the figure's result dict."""
+    return {"figure": "16", "rows": merge_rows(results)}
+
+
+def run(
+    measure_us: float = 300_000.0,
+    added_costs=ADDED_COSTS_US,
+    jobs: int = 1,
+    root_seed: int = 42,
+    cache=None,
+    pool=None,
+) -> Dict[str, object]:
+    return finalize(
+        sweep(measure_us=measure_us, added_costs=added_costs, root_seed=root_seed).run(
+            jobs=jobs, cache=cache, pool=pool
+        )
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

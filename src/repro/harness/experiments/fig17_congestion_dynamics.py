@@ -11,17 +11,17 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.harness.experiments.common import Sweep
 from repro.harness.report import format_series
 from repro.harness.testbed import Testbed, TestbedConfig
 from repro.metrics.throughput import IntervalSeries
 from repro.workloads import FioSpec
 
 
-def run(
-    phase_us: float = 500_000.0,
-    sample_window_us: float = 50_000.0,
-    steps: int = 6,
+def _point(
+    phase_us: float, sample_window_us: float, steps: int
 ) -> Dict[str, object]:
+    """The whole ramp is one simulation, hence one sweep point."""
     testbed = Testbed(TestbedConfig(scheme="vanilla", condition="clean"))
     small_workers = [
         testbed.add_worker(
@@ -71,6 +71,41 @@ def run(
         "latency_128k": latency["128KB"].series(),
         "bandwidth_mbps": bandwidth.bandwidth_series_mbps(),
     }
+
+
+def sweep(
+    phase_us: float = 500_000.0,
+    sample_window_us: float = 50_000.0,
+    steps: int = 6,
+):
+    sw = Sweep("fig17")
+    sw.point(
+        _point,
+        label="impulse",
+        phase_us=phase_us,
+        sample_window_us=sample_window_us,
+        steps=steps,
+    )
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    return results[0]
+
+
+def run(
+    phase_us: float = 500_000.0,
+    sample_window_us: float = 50_000.0,
+    steps: int = 6,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
+) -> Dict[str, object]:
+    return finalize(
+        sweep(phase_us=phase_us, sample_window_us=sample_window_us, steps=steps).run(
+            jobs=jobs, cache=cache, pool=pool
+        )
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.harness.experiments.common import Sweep
 from repro.harness.testbed import Testbed, TestbedConfig
 from repro.harness.report import format_series
 from repro.metrics.throughput import IntervalSeries
@@ -18,11 +19,10 @@ from repro.ssd.commands import IoOp
 from repro.workloads import FioSpec
 
 
-def run(
-    phase_us: float = 300_000.0,
-    sample_window_us: float = 20_000.0,
-    steps: int = 12,
+def _point(
+    phase_us: float, sample_window_us: float, steps: int
 ) -> Dict[str, object]:
+    """The whole ramp is one simulation, hence one sweep point."""
     testbed = Testbed(TestbedConfig(scheme="gimbal", condition="clean"))
     workers = [
         testbed.add_worker(
@@ -56,6 +56,41 @@ def run(
         "threshold": threshold_series.series(),
         "signals": {state.name: count for state, count in monitor.signals.items()},
     }
+
+
+def sweep(
+    phase_us: float = 300_000.0,
+    sample_window_us: float = 20_000.0,
+    steps: int = 12,
+):
+    sw = Sweep("fig18")
+    sw.point(
+        _point,
+        label="threshold-trace",
+        phase_us=phase_us,
+        sample_window_us=sample_window_us,
+        steps=steps,
+    )
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    return results[0]
+
+
+def run(
+    phase_us: float = 300_000.0,
+    sample_window_us: float = 20_000.0,
+    steps: int = 12,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
+) -> Dict[str, object]:
+    return finalize(
+        sweep(phase_us=phase_us, sample_window_us=sample_window_us, steps=steps).run(
+            jobs=jobs, cache=cache, pool=pool
+        )
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

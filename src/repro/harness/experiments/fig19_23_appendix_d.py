@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.harness.experiments.common import run_workers
+from repro.harness.experiments.common import Sweep, run_workers
 from repro.harness.report import format_table
 from repro.harness.testbed import TestbedConfig
 from repro.workloads import FioSpec
@@ -34,114 +34,160 @@ def _pair(spec_a: FioSpec, spec_b: FioSpec, measure_us: float, condition: str = 
     return results
 
 
-def run_fig19(measure_us: float = 400_000.0) -> List[dict]:
-    rows = []
-    for size_kb in SIZES_KB:
-        io_pages = size_kb // 4
-        for op_name, read_ratio, pattern in (("rnd-rd", 1.0, "random"), ("seq-wr", 0.0, "sequential")):
-            base_depth = 16 if io_pages == 1 else 4
-            results = _pair(
-                FioSpec("intense", io_pages=io_pages, queue_depth=2 * base_depth,
-                        read_ratio=read_ratio, pattern=pattern),
-                FioSpec("mild", io_pages=io_pages, queue_depth=base_depth,
-                        read_ratio=read_ratio, pattern=pattern),
-                measure_us,
-            )
-            intense, mild = (w["bandwidth_mbps"] for w in results["workers"])
-            rows.append(
-                {"fig": "19", "op": op_name, "size_kb": size_kb,
-                 "intense_mbps": intense, "mild_mbps": mild}
-            )
-    return rows
+def _point19(size_kb: int, op: str, measure_us: float) -> dict:
+    io_pages = size_kb // 4
+    read_ratio, pattern = (1.0, "random") if op == "rnd-rd" else (0.0, "sequential")
+    base_depth = 16 if io_pages == 1 else 4
+    results = _pair(
+        FioSpec("intense", io_pages=io_pages, queue_depth=2 * base_depth,
+                read_ratio=read_ratio, pattern=pattern),
+        FioSpec("mild", io_pages=io_pages, queue_depth=base_depth,
+                read_ratio=read_ratio, pattern=pattern),
+        measure_us,
+    )
+    intense, mild = (w["bandwidth_mbps"] for w in results["workers"])
+    return {"fig": "19", "op": op, "size_kb": size_kb,
+            "intense_mbps": intense, "mild_mbps": mild}
 
 
-def run_fig20(measure_us: float = 400_000.0) -> List[dict]:
-    rows = []
-    for size_kb in SIZES_KB:
-        results = _pair(
-            FioSpec("s1-4k", io_pages=1, queue_depth=32, read_ratio=1.0),
-            FioSpec("s2", io_pages=size_kb // 4, queue_depth=32, read_ratio=1.0),
-            measure_us,
-        )
-        small, big = (w["bandwidth_mbps"] for w in results["workers"])
-        rows.append(
-            {"fig": "20", "neighbour_kb": size_kb, "stream1_mbps": small, "stream2_mbps": big}
-        )
-    return rows
+def _point20(size_kb: int, measure_us: float) -> dict:
+    results = _pair(
+        FioSpec("s1-4k", io_pages=1, queue_depth=32, read_ratio=1.0),
+        FioSpec("s2", io_pages=size_kb // 4, queue_depth=32, read_ratio=1.0),
+        measure_us,
+    )
+    small, big = (w["bandwidth_mbps"] for w in results["workers"])
+    return {"fig": "20", "neighbour_kb": size_kb, "stream1_mbps": small, "stream2_mbps": big}
 
 
-def run_fig21(measure_us: float = 400_000.0) -> List[dict]:
-    rows = []
-    for size_kb in SIZES_KB:
-        io_pages = size_kb // 4
-        solo = run_workers(
+def _point21(size_kb: int, measure_us: float) -> dict:
+    io_pages = size_kb // 4
+    solo = run_workers(
+        TestbedConfig(scheme="vanilla", condition="clean"),
+        [FioSpec("rd", io_pages=io_pages, queue_depth=16, read_ratio=1.0)],
+        warmup_us=150_000.0,
+        measure_us=measure_us,
+        region_pages=8192,
+    )["workers"][0]["bandwidth_mbps"]
+    mixed = _pair(
+        FioSpec("rd", io_pages=io_pages, queue_depth=16, read_ratio=1.0),
+        FioSpec("wr", io_pages=io_pages, queue_depth=16, read_ratio=0.0,
+                pattern="sequential"),
+        measure_us,
+    )["workers"][0]["bandwidth_mbps"]
+    return {"fig": "21", "size_kb": size_kb, "standalone_mbps": solo, "mixed_mbps": mixed}
+
+
+def _point22_23(fig: str, bg_size_kb: int, measure_us: float) -> dict:
+    probe_read = fig == "22"
+    probe = FioSpec(
+        "probe",
+        io_pages=1,
+        queue_depth=8,
+        read_ratio=1.0 if probe_read else 0.0,
+        pattern="random" if probe_read else "sequential",
+    )
+    if bg_size_kb == 0:
+        results = run_workers(
             TestbedConfig(scheme="vanilla", condition="clean"),
-            [FioSpec("rd", io_pages=io_pages, queue_depth=16, read_ratio=1.0)],
+            [probe],
             warmup_us=150_000.0,
             measure_us=measure_us,
             region_pages=8192,
-        )["workers"][0]["bandwidth_mbps"]
-        mixed = _pair(
-            FioSpec("rd", io_pages=io_pages, queue_depth=16, read_ratio=1.0),
-            FioSpec("wr", io_pages=io_pages, queue_depth=16, read_ratio=0.0,
-                    pattern="sequential"),
-            measure_us,
-        )["workers"][0]["bandwidth_mbps"]
-        rows.append(
-            {"fig": "21", "size_kb": size_kb, "standalone_mbps": solo, "mixed_mbps": mixed}
         )
-    return rows
+    else:
+        background = FioSpec(
+            "bg",
+            io_pages=bg_size_kb // 4,
+            queue_depth=16,
+            read_ratio=0.0 if probe_read else 1.0,
+            pattern="sequential" if probe_read else "random",
+        )
+        results = _pair(probe, background, measure_us)
+    worker = results["workers"][0]
+    latency = worker["read_latency"] if probe_read else worker["write_latency"]
+    return {
+        "fig": fig,
+        "bg_size_kb": bg_size_kb,
+        "avg_us": latency["mean"],
+        "p999_us": latency["p999"],
+    }
+
+
+def run_fig19(measure_us: float = 400_000.0) -> List[dict]:
+    return [
+        _point19(size_kb, op, measure_us)
+        for size_kb in SIZES_KB
+        for op in ("rnd-rd", "seq-wr")
+    ]
+
+
+def run_fig20(measure_us: float = 400_000.0) -> List[dict]:
+    return [_point20(size_kb, measure_us) for size_kb in SIZES_KB]
+
+
+def run_fig21(measure_us: float = 400_000.0) -> List[dict]:
+    return [_point21(size_kb, measure_us) for size_kb in SIZES_KB]
 
 
 def run_fig22_23(measure_us: float = 400_000.0) -> List[dict]:
-    rows = []
-    for fig, probe_read in (("22", True), ("23", False)):
+    return [
+        _point22_23(fig, size_kb, measure_us)
+        for fig in ("22", "23")
+        for size_kb in (0,) + SIZES_KB
+    ]
+
+
+def sweep(measure_us: float = 400_000.0):
+    """One point per appendix cell, grouped 19 / 20 / 21 / 22-23."""
+    sw = Sweep("fig19-23")
+    for size_kb in SIZES_KB:
+        for op in ("rnd-rd", "seq-wr"):
+            sw.point(
+                _point19,
+                label=f"fig19:size={size_kb},op={op}",
+                size_kb=size_kb,
+                op=op,
+                measure_us=measure_us,
+            )
+    for size_kb in SIZES_KB:
+        sw.point(
+            _point20, label=f"fig20:size={size_kb}", size_kb=size_kb, measure_us=measure_us
+        )
+    for size_kb in SIZES_KB:
+        sw.point(
+            _point21, label=f"fig21:size={size_kb}", size_kb=size_kb, measure_us=measure_us
+        )
+    for fig in ("22", "23"):
         for size_kb in (0,) + SIZES_KB:
-            probe = FioSpec(
-                "probe",
-                io_pages=1,
-                queue_depth=8,
-                read_ratio=1.0 if probe_read else 0.0,
-                pattern="random" if probe_read else "sequential",
+            sw.point(
+                _point22_23,
+                label=f"fig{fig}:bg={size_kb}",
+                fig=fig,
+                bg_size_kb=size_kb,
+                measure_us=measure_us,
             )
-            if size_kb == 0:
-                results = run_workers(
-                    TestbedConfig(scheme="vanilla", condition="clean"),
-                    [probe],
-                    warmup_us=150_000.0,
-                    measure_us=measure_us,
-                    region_pages=8192,
-                )
-            else:
-                background = FioSpec(
-                    "bg",
-                    io_pages=size_kb // 4,
-                    queue_depth=16,
-                    read_ratio=0.0 if probe_read else 1.0,
-                    pattern="sequential" if probe_read else "random",
-                )
-                results = _pair(probe, background, measure_us)
-            worker = results["workers"][0]
-            latency = worker["read_latency"] if probe_read else worker["write_latency"]
-            rows.append(
-                {
-                    "fig": fig,
-                    "bg_size_kb": size_kb,
-                    "avg_us": latency["mean"],
-                    "p999_us": latency["p999"],
-                }
-            )
-    return rows
+    return sw
 
 
-def run(measure_us: float = 400_000.0) -> Dict[str, object]:
+def finalize(results) -> Dict[str, object]:
+    """Slice the ordered point results back into the four sub-figures."""
+    n19 = len(SIZES_KB) * 2
+    n20 = n19 + len(SIZES_KB)
+    n21 = n20 + len(SIZES_KB)
     return {
         "figure": "19-23",
-        "fig19": run_fig19(measure_us),
-        "fig20": run_fig20(measure_us),
-        "fig21": run_fig21(measure_us),
-        "fig22_23": run_fig22_23(measure_us),
+        "fig19": list(results[:n19]),
+        "fig20": list(results[n19:n20]),
+        "fig21": list(results[n20:n21]),
+        "fig22_23": list(results[n21:]),
     }
+
+
+def run(
+    measure_us: float = 400_000.0, jobs: int = 1, cache=None, pool=None
+) -> Dict[str, object]:
+    return finalize(sweep(measure_us=measure_us).run(jobs=jobs, cache=cache, pool=pool))
 
 
 def summarize(results: Dict[str, object]) -> str:

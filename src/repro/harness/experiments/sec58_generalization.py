@@ -10,52 +10,101 @@ adapts to the device.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.core.config import P3600_PARAMS
-from repro.harness.experiments.common import f_utils_for, read_spec, run_workers, write_spec
+from repro.harness.experiments.common import (
+    Sweep,
+    f_utils_for,
+    merge_rows,
+    read_spec,
+    run_workers,
+    write_spec,
+)
 from repro.harness.report import format_table
 from repro.harness.testbed import TestbedConfig
+
+#: (condition, io_pages) pairs matching the Figure 7 b/c workloads.
+CONDITIONS = (("clean", 32), ("fragmented", 1))
+
+
+def _point(
+    condition: str,
+    io_pages: int,
+    measure_us: float,
+    warmup_us: float,
+    workers_per_class: int,
+) -> dict:
+    """One mixed read/write run on the P3600 profile."""
+    specs = [read_spec(f"rd{i}", io_pages) for i in range(workers_per_class)]
+    specs += [write_spec(f"wr{i}", io_pages) for i in range(workers_per_class)]
+    results = run_workers(
+        TestbedConfig(
+            scheme="gimbal",
+            condition=condition,
+            device_profile="p3600",
+            gimbal_params=P3600_PARAMS,
+        ),
+        specs,
+        warmup_us=warmup_us,
+        measure_us=measure_us,
+        region_pages=1600,
+    )
+    futils = f_utils_for(results, specs, condition, device_profile="p3600")
+    read_futil = sum(futils[:workers_per_class]) / workers_per_class
+    write_futil = sum(futils[workers_per_class:]) / workers_per_class
+    return {
+        "condition": condition,
+        "read_futil": read_futil,
+        "write_futil": write_futil,
+        "read_mbps": sum(
+            w["bandwidth_mbps"] for w in results["workers"][:workers_per_class]
+        ),
+        "write_mbps": sum(
+            w["bandwidth_mbps"] for w in results["workers"][workers_per_class:]
+        ),
+    }
+
+
+def sweep(
+    measure_us: float = 1_200_000.0,
+    warmup_us: float = 600_000.0,
+    workers_per_class: int = 8,
+):
+    """One point per device condition."""
+    sw = Sweep("sec5.8")
+    for condition, io_pages in CONDITIONS:
+        sw.point(
+            _point,
+            label=f"condition={condition}",
+            condition=condition,
+            io_pages=io_pages,
+            measure_us=measure_us,
+            warmup_us=warmup_us,
+            workers_per_class=workers_per_class,
+        )
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    return {"section": "5.8", "rows": merge_rows(results)}
 
 
 def run(
     measure_us: float = 1_200_000.0,
     warmup_us: float = 600_000.0,
     workers_per_class: int = 8,
+    jobs: int = 1,
+    cache=None,
+    pool=None,
 ) -> Dict[str, object]:
-    rows: List[dict] = []
-    for condition, io_pages in (("clean", 32), ("fragmented", 1)):
-        specs = [read_spec(f"rd{i}", io_pages) for i in range(workers_per_class)]
-        specs += [write_spec(f"wr{i}", io_pages) for i in range(workers_per_class)]
-        results = run_workers(
-            TestbedConfig(
-                scheme="gimbal",
-                condition=condition,
-                device_profile="p3600",
-                gimbal_params=P3600_PARAMS,
-            ),
-            specs,
-            warmup_us=warmup_us,
+    return finalize(
+        sweep(
             measure_us=measure_us,
-            region_pages=1600,
-        )
-        futils = f_utils_for(results, specs, condition, device_profile="p3600")
-        read_futil = sum(futils[:workers_per_class]) / workers_per_class
-        write_futil = sum(futils[workers_per_class:]) / workers_per_class
-        rows.append(
-            {
-                "condition": condition,
-                "read_futil": read_futil,
-                "write_futil": write_futil,
-                "read_mbps": sum(
-                    w["bandwidth_mbps"] for w in results["workers"][:workers_per_class]
-                ),
-                "write_mbps": sum(
-                    w["bandwidth_mbps"] for w in results["workers"][workers_per_class:]
-                ),
-            }
-        )
-    return {"section": "5.8", "rows": rows}
+            warmup_us=warmup_us,
+            workers_per_class=workers_per_class,
+        ).run(jobs=jobs, cache=cache, pool=pool)
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

@@ -66,38 +66,39 @@ def _null_iops_case(
     return sum(worker["iops"] for worker in results["workers"]) / 1000.0
 
 
-def run(
-    measure_us: float = 200_000.0, jobs: int = 1, root_seed: int = 42, cache=None
-) -> Dict[str, object]:
+def sweep(measure_us: float = 200_000.0, root_seed: int = 42):
     # Each (case, scheme) measurement is one sweep point; the
-    # vanilla/gimbal pairing happens after the ordered results return.
-    sweep = Sweep("table1", root_seed=root_seed)
+    # vanilla/gimbal pairing happens in finalize() on the ordered
+    # results.
+    sw = Sweep("table1", root_seed=root_seed)
     for label, queue_depth, workers in CYCLE_CASES:
         for scheme in ("vanilla", "gimbal"):
             point_label = f"cycles:{label}:{scheme}"
-            sweep.point(
+            sw.point(
                 _cycles_case,
                 label=point_label,
                 scheme=scheme,
                 queue_depth=queue_depth,
                 workers=workers,
                 measure_us=measure_us,
-                seed=sweep.seed_for(point_label),
+                seed=sw.seed_for(point_label),
             )
     for label, cores, workers in NULL_IOPS_CASES:
         for scheme in ("vanilla", "gimbal"):
             point_label = f"null-iops:{label}:{scheme}"
-            sweep.point(
+            sw.point(
                 _null_iops_case,
                 label=point_label,
                 scheme=scheme,
                 cores=cores,
                 workers=workers,
                 measure_us=measure_us,
-                seed=sweep.seed_for(point_label),
+                seed=sw.seed_for(point_label),
             )
-    results = sweep.run(jobs=jobs, cache=cache)
+    return sw
 
+
+def finalize(results) -> Dict[str, object]:
     cycle_rows: List[dict] = []
     for case_index, (label, _queue_depth, _workers) in enumerate(CYCLE_CASES):
         vanilla = results[2 * case_index]
@@ -129,6 +130,20 @@ def run(
             }
         )
     return {"table": "1", "cycles": cycle_rows, "null_iops": iops_rows}
+
+
+def run(
+    measure_us: float = 200_000.0,
+    jobs: int = 1,
+    root_seed: int = 42,
+    cache=None,
+    pool=None,
+) -> Dict[str, object]:
+    return finalize(
+        sweep(measure_us=measure_us, root_seed=root_seed).run(
+            jobs=jobs, cache=cache, pool=pool
+        )
+    )
 
 
 def summarize(results: Dict[str, object]) -> str:

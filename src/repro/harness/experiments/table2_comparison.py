@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.harness.experiments.common import Sweep
 from repro.harness.report import format_table
 
 #: scheme -> (BW estimation, IO cost & WR tax, fair queueing, flow control)
@@ -20,7 +21,7 @@ PROPERTIES: Dict[str, tuple] = {
 }
 
 
-def run() -> Dict[str, object]:
+def _point() -> Dict[str, object]:
     from repro.baselines import FlashFqScheduler, ReflexScheduler
     from repro.core import GimbalScheduler
     from repro.fabric.policies import CreditClientPolicy, PardaClientPolicy
@@ -44,6 +45,20 @@ def run() -> Dict[str, object]:
         for scheme, props in PROPERTIES.items()
     ]
     return {"table": "2", "rows": rows, "checks": checks}
+
+
+def sweep():
+    sw = Sweep("table2")
+    sw.point(_point, label="matrix")
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    return results[0]
+
+
+def run(jobs: int = 1, cache=None, pool=None) -> Dict[str, object]:
+    return finalize(sweep().run(jobs=jobs, cache=cache, pool=pool))
 
 
 def summarize(results: Dict[str, object]) -> str:

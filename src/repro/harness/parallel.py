@@ -34,12 +34,13 @@ from __future__ import annotations
 import itertools
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.harness.cache import CacheSpec, ResultCache, resolve_cache
 from repro.metrics import IntervalSeries, LatencyHistogram, PercentileTimeline
+from repro.obs import bump
 from repro.sim.rng import derive_seed
 
 
@@ -79,6 +80,26 @@ def _execute_point_timed(point: SweepPoint) -> Tuple[int, float, Any]:
     return point.index, time.perf_counter() - start, value
 
 
+def _consume(futures: List) -> List[Tuple[int, float, Any]]:
+    """Drain futures in *completion* order, failing fast.
+
+    The merge is index-keyed, so completion order is fine -- and a
+    point that crashes (or a worker that dies) surfaces as soon as its
+    future settles instead of queueing behind every earlier-submitted
+    future.  Unstarted siblings are cancelled on the way out so the
+    caller is not left feeding a doomed sweep.
+    """
+    results: List[Tuple[int, float, Any]] = []
+    try:
+        for future in as_completed(futures):
+            results.append(future.result())
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
+    return results
+
+
 def _execute_pending(
     pending: Sequence[SweepPoint],
     jobs: int,
@@ -87,13 +108,13 @@ def _execute_pending(
     if jobs <= 1 and executor is None:
         return [_execute_point_timed(point) for point in pending]
     if executor is not None:
-        futures = [executor.submit(_execute_point_timed, point) for point in pending]
-        return [future.result() for future in futures]
+        return _consume(
+            [executor.submit(_execute_point_timed, point) for point in pending]
+        )
     with ProcessPoolExecutor(max_workers=min(jobs, max(1, len(pending)))) as pool:
-        futures = [pool.submit(_execute_point_timed, point) for point in pending]
         # Consume inside the with-block so worker crashes surface here
         # rather than as a BrokenProcessPool on exit.
-        return [future.result() for future in futures]
+        return _consume([pool.submit(_execute_point_timed, point) for point in pending])
 
 
 def _clamp_jobs(jobs: int) -> int:
@@ -108,12 +129,72 @@ def _clamp_jobs(jobs: int) -> int:
     cpu_count = os.cpu_count() or 1
     if jobs <= cpu_count:
         return jobs
-    from repro.obs.session import current_session
-
-    session = current_session()
-    if session is not None:
-        session.registry.counter("sweep.jobs_clamped").inc()
+    bump("sweep.jobs_clamped")
     return cpu_count
+
+
+def _warm_worker() -> None:  # pragma: no cover - runs in worker processes
+    """Pool initializer: pre-import the heavy ``repro`` surface.
+
+    With the ``spawn`` start method a fresh worker pays the full
+    interpreter boot plus ``repro.*`` import cost on its first task;
+    importing here moves that cost to pool construction, where it is
+    paid once per suite instead of once per sweep.  Under ``fork`` the
+    modules are already inherited and these imports are no-ops.
+    """
+    import repro.harness.experiments  # noqa: F401
+    import repro.harness.kvcluster  # noqa: F401
+    import repro.harness.testbed  # noqa: F401
+
+
+class WorkerPool:
+    """A persistent process pool shared across sweeps.
+
+    ``run_sweep`` creates (and tears down) a fresh
+    :class:`~concurrent.futures.ProcessPoolExecutor` per sweep when
+    given only ``jobs``; a :class:`WorkerPool` is the suite-scale
+    alternative -- workers are created once, warmed with the
+    experiment imports, and reused by every sweep handed the pool::
+
+        with WorkerPool(jobs=8) as pool:
+            rows_a = sweep_a.run(pool=pool)
+            rows_b = sweep_b.run(pool=pool)
+
+    The executor is created lazily on first use, so building a pool is
+    free until something actually dispatches to it.  ``jobs`` defaults
+    to (and is clamped at) ``os.cpu_count()``.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        requested = jobs if jobs is not None and jobs > 0 else (os.cpu_count() or 1)
+        self.jobs = _clamp_jobs(requested)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=_warm_worker
+            )
+        return self._executor
+
+    def submit(self, fn: Callable[..., Any], *args: Any):
+        return self.executor.submit(fn, *args)
+
+    def close(self, cancel_pending: bool = False) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=cancel_pending)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        self.close(cancel_pending=exc_type is not None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self._executor is not None else "lazy"
+        return f"WorkerPool(jobs={self.jobs}, {state})"
 
 
 def run_sweep(
@@ -122,6 +203,7 @@ def run_sweep(
     executor: Optional[ProcessPoolExecutor] = None,
     cache: CacheSpec = None,
     name: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> List[Any]:
     """Execute ``points`` and return their results in point order.
 
@@ -129,6 +211,12 @@ def run_sweep(
     in-process, and values above ``os.cpu_count()`` are clamped to it
     (see :func:`_clamp_jobs`).  The returned list always lines up with
     ``points`` by index, regardless of completion order.
+
+    ``pool`` hands the sweep a persistent :class:`WorkerPool` whose
+    executor is reused instead of standing up (and tearing down) a
+    fresh per-sweep executor -- the suite orchestrator's path.  When
+    neither ``pool`` nor ``executor`` is given and ``jobs > 1``, the
+    per-sweep executor remains the fallback.
 
     ``cache`` selects the result cache: ``None`` uses the ambient
     configuration (:func:`repro.harness.cache.active_cache`, off unless
@@ -143,6 +231,9 @@ def run_sweep(
     indices = [p.index for p in points]
     if len(set(indices)) != len(indices):
         raise ValueError("sweep points must have unique indices")
+    if pool is not None and executor is None:
+        executor = pool.executor
+        jobs = pool.jobs
     jobs_requested = jobs
     jobs = _clamp_jobs(jobs)
     store: Optional[ResultCache] = resolve_cache(cache)
@@ -186,12 +277,25 @@ class Sweep:
         self.name = name
         self.root_seed = root_seed
         self._points: List[SweepPoint] = []
+        self._labels: set = set()
 
     def point(self, fn: Callable[..., Any], label: Optional[str] = None, **kwargs: Any) -> None:
-        """Declare the next point; ``label`` defaults to the kwargs."""
+        """Declare the next point; ``label`` defaults to the kwargs.
+
+        Labels must be unique within the sweep: :func:`point_seed`
+        derives each point's RNG seed from its label, so two points
+        sharing a label would silently share a random stream (and the
+        cost model could not tell their timings apart).
+        """
         index = len(self._points)
         if label is None:
             label = ",".join(f"{k}={kwargs[k]}" for k in sorted(kwargs)) or str(index)
+        if label in self._labels:
+            raise ValueError(
+                f"duplicate sweep point label {label!r} in sweep {self.name!r}: "
+                "labels derive per-point seeds, so they must be unique"
+            )
+        self._labels.add(label)
         self._points.append(SweepPoint(index=index, label=label, fn=fn, kwargs=kwargs))
 
     def seed_for(self, label: str) -> int:
@@ -201,8 +305,15 @@ class Sweep:
     def points(self) -> List[SweepPoint]:
         return list(self._points)
 
-    def run(self, jobs: int = 1, cache: CacheSpec = None) -> List[Any]:
-        return run_sweep(self._points, jobs=jobs, cache=cache, name=self.name)
+    def run(
+        self,
+        jobs: int = 1,
+        cache: CacheSpec = None,
+        pool: Optional[WorkerPool] = None,
+    ) -> List[Any]:
+        return run_sweep(
+            self._points, jobs=jobs, cache=cache, name=self.name, pool=pool
+        )
 
     def __len__(self) -> int:
         return len(self._points)
@@ -247,7 +358,7 @@ def merge_histograms(shards: Iterable[LatencyHistogram]) -> LatencyHistogram:
     merged: Optional[LatencyHistogram] = None
     for shard in shards:
         if merged is None:
-            merged = LatencyHistogram(shard.min_value, shard.max_value, shard._growth)
+            merged = LatencyHistogram(shard.min_value, shard.max_value, shard.growth)
         merged.merge(shard)
     if merged is None:
         raise ValueError("no histograms to merge")
@@ -272,7 +383,7 @@ def merge_timelines(shards: Iterable[PercentileTimeline]) -> PercentileTimeline:
     for shard in shards:
         if merged is None:
             merged = PercentileTimeline(
-                shard.window_us, shard._min_value, shard._max_value
+                shard.window_us, shard.min_value, shard.max_value
             )
         merged.merge(shard)
     if merged is None:

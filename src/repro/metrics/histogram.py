@@ -81,6 +81,11 @@ class LatencyHistogram:
             self.max = value
 
     @property
+    def growth(self) -> float:
+        """Configured bucket-boundary growth ratio (construction arg)."""
+        return self._growth
+
+    @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 

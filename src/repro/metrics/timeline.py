@@ -25,6 +25,16 @@ class PercentileTimeline:
         self._max_value = max_value
         self._windows: Dict[int, LatencyHistogram] = {}
 
+    @property
+    def min_value(self) -> float:
+        """Configured per-window histogram range floor (construction arg)."""
+        return self._min_value
+
+    @property
+    def max_value(self) -> float:
+        """Configured per-window histogram range ceiling (construction arg)."""
+        return self._max_value
+
     def record(self, now_us: float, value: float) -> None:
         index = int(now_us // self.window_us)
         histogram = self._windows.get(index)

@@ -29,6 +29,21 @@ from repro.obs.registry import Counter, Gauge, Registry
 from repro.obs.session import ObsSession, capture, current_session
 from repro.obs.trace import TraceBuffer, TraceType
 
+
+def bump(name: str, amount=1) -> None:
+    """Increment a counter on the active session's registry, if any.
+
+    The harness layers (sweep runner, result cache, suite
+    orchestrator) run outside any simulator, so they cannot reach a
+    tracer through ``sim.tracer``; this is their equivalent one-liner
+    for counters.  A no-op when no session is capturing, so callers
+    never need their own ``current_session() is not None`` guard.
+    """
+    session = current_session()
+    if session is not None and amount:
+        session.registry.counter(name).inc(amount)
+
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -37,6 +52,7 @@ __all__ = [
     "Registry",
     "TraceBuffer",
     "TraceType",
+    "bump",
     "capture",
     "current_session",
 ]

@@ -1,0 +1,28 @@
+"""Second synthetic driver (distinct point fn) for suite tests."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.harness.parallel import Sweep, merge_rows
+from tests.harness.fake_experiments import _negate
+
+
+def sweep(n: int = 3, root_seed: int = 7) -> Sweep:
+    sw = Sweep("fake-beta", root_seed=root_seed)
+    for i in range(n):
+        label = f"neg={i}"
+        sw.point(_negate, label=label, value=i, seed=sw.seed_for(label))
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    return {"experiment": "beta", "rows": merge_rows(results)}
+
+
+def run(n: int = 3, root_seed: int = 7, jobs: int = 1, cache=None, pool=None):
+    return finalize(sweep(n=n, root_seed=root_seed).run(jobs=jobs, cache=cache, pool=pool))
+
+
+def summarize(results: Dict[str, object]) -> str:
+    return f"beta: {len(results['rows'])} rows"

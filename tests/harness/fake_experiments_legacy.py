@@ -1,0 +1,11 @@
+"""A driver that predates the sweep()/finalize() protocol (run() only)."""
+
+from __future__ import annotations
+
+
+def run(jobs: int = 1, cache=None):
+    return {"experiment": "legacy", "rows": [{"value": 1}]}
+
+
+def summarize(results) -> str:
+    return "legacy"

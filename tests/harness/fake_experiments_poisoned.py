@@ -1,0 +1,28 @@
+"""A driver whose middle point raises (for fail-fast tests)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.harness.parallel import Sweep, merge_rows
+from tests.harness.fake_experiments import _calc, _explode
+
+
+def sweep(n: int = 3) -> Sweep:
+    sw = Sweep("fake-poisoned")
+    for i in range(n):
+        fn = _explode if i == 1 else _calc
+        sw.point(fn, label=f"p={i}", value=i)
+    return sw
+
+
+def finalize(results) -> Dict[str, object]:
+    return {"experiment": "poisoned", "rows": merge_rows(results)}
+
+
+def run(n: int = 3, jobs: int = 1, cache=None, pool=None):
+    return finalize(sweep(n=n).run(jobs=jobs, cache=cache, pool=pool))
+
+
+def summarize(results) -> str:
+    return "poisoned"

@@ -1,0 +1,327 @@
+"""Tests for the suite orchestrator: cost model, dispatch plan, runner.
+
+The load-bearing contract: ``run_suite`` may schedule points in any
+order it likes (LPT, batched, streamed across experiments), but every
+experiment's result must stay byte-identical to the serial-experiment
+baseline ``run_suite_serial``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.harness.cache import ResultCache
+from repro.harness.orchestrator import (
+    DEFAULT_POINT_COST_S,
+    SUITE_JOURNAL_NAME,
+    CostModel,
+    ExperimentSpec,
+    _accepted_kwargs,
+    _Task,
+    plan_dispatch,
+    run_suite,
+    run_suite_serial,
+    suite_experiments,
+)
+from repro.harness.parallel import SweepPoint, WorkerPool
+from tests.harness.fake_experiments import _calc, _negate
+
+ALPHA = ExperimentSpec(
+    name="alpha", module_path="tests.harness.fake_experiments", kwargs={"n": 5, "scale": 3}
+)
+BETA = ExperimentSpec(name="beta", module_path="tests.harness.fake_experiments_beta", kwargs={})
+POISONED = ExperimentSpec(
+    name="poisoned", module_path="tests.harness.fake_experiments_poisoned", kwargs={}
+)
+LEGACY = ExperimentSpec(
+    name="legacy", module_path="tests.harness.fake_experiments_legacy", kwargs={}
+)
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True)
+
+
+class TestAcceptedKwargs:
+    def test_filters_to_signature(self):
+        def fn(a, b=1):
+            return a, b
+
+        assert _accepted_kwargs(fn, {"a": 1, "b": 2, "c": 3}) == {"a": 1, "b": 2}
+
+    def test_var_keyword_accepts_everything(self):
+        def fn(**kwargs):
+            return kwargs
+
+        assert _accepted_kwargs(fn, {"a": 1, "zz": 9}) == {"a": 1, "zz": 9}
+
+    def test_no_matching_params_yields_empty(self):
+        def fn():
+            return None
+
+        assert _accepted_kwargs(fn, {"a": 1}) == {}
+
+
+class TestCostModel:
+    POINT = SweepPoint(index=0, label="v=0", fn=_calc, kwargs={"value": 0})
+
+    def test_no_store_uses_default(self):
+        model = CostModel.from_cache(None)
+        assert model.predict(self.POINT) == DEFAULT_POINT_COST_S
+
+    def test_empty_cache_uses_default(self, tmp_path):
+        model = CostModel.from_cache(ResultCache(tmp_path / "cache"))
+        assert model.predict(self.POINT) == DEFAULT_POINT_COST_S
+
+    def test_prior_beats_default(self, tmp_path):
+        model = CostModel.from_cache(
+            ResultCache(tmp_path / "cache"), priors={"alpha": 0.5}
+        )
+        assert model.predict(self.POINT, experiment="alpha") == 0.5
+        assert model.predict(self.POINT, experiment="other") == DEFAULT_POINT_COST_S
+
+    def test_exact_fingerprint_beats_fn_mean(self, tmp_path):
+        store = ResultCache(tmp_path / "cache")
+        store.store(self.POINT, {"value": 0}, elapsed_s=3.25)
+        other = SweepPoint(index=1, label="v=9", fn=_calc, kwargs={"value": 9})
+        store.store(other, {"value": 9}, elapsed_s=1.25)
+        model = CostModel.from_cache(store, priors={"alpha": 99.0})
+        # Same fn+kwargs: the recorded time itself.
+        assert model.predict(self.POINT, experiment="alpha") == pytest.approx(3.25)
+        # Same fn, new kwargs: mean of the fn's recorded times.
+        fresh = SweepPoint(index=2, label="v=5", fn=_calc, kwargs={"value": 5})
+        assert model.predict(fresh, experiment="alpha") == pytest.approx((3.25 + 1.25) / 2)
+        # Different fn entirely: falls through to the prior.
+        alien = SweepPoint(index=3, label="n=1", fn=_negate, kwargs={"value": 1})
+        assert model.predict(alien, experiment="alpha") == 99.0
+
+    def test_corrupt_journal_entries_degrade_gracefully(self, tmp_path):
+        store = ResultCache(tmp_path / "cache")
+        store.store(self.POINT, {"value": 0}, elapsed_s=2.0)
+        # Corrupt one entry file, drop garbage JSON beside the rest.
+        entry_files = list(store.root.glob("*.json"))
+        entry_files[0].write_text("{not json", encoding="utf-8")
+        (store.root / ("f" * 64 + ".json")).write_text('{"no": "fingerprint"}')
+        model = CostModel.from_cache(store)  # must not raise
+        assert model.predict(self.POINT) == DEFAULT_POINT_COST_S
+
+    def test_entries_blowing_up_never_raises(self, tmp_path):
+        class _Hostile(ResultCache):
+            def entries(self):
+                raise RuntimeError("disk on fire")
+
+        model = CostModel.from_cache(_Hostile(tmp_path / "cache"))
+        assert model.predict(self.POINT) == DEFAULT_POINT_COST_S
+
+    def test_negative_or_missing_elapsed_ignored(self, tmp_path):
+        store = ResultCache(tmp_path / "cache")
+        store.store(self.POINT, {"value": 0}, elapsed_s=-5.0)
+        model = CostModel.from_cache(store)
+        assert model.predict(self.POINT) == DEFAULT_POINT_COST_S
+
+
+class TestPlanDispatch:
+    @staticmethod
+    def _task(exp, index, cost):
+        point = SweepPoint(index=index, label=f"p{exp}.{index}", fn=_calc, kwargs={"value": index})
+        return _Task(exp=exp, point=point, cost=cost)
+
+    def test_expensive_points_dispatch_first_as_singletons(self):
+        tasks = [self._task(0, 0, 1.0), self._task(0, 1, 5.0), self._task(1, 0, 3.0)]
+        units = plan_dispatch(tasks, batch_cost_s=0.25)
+        assert [[t.cost for t in unit] for unit in units] == [[5.0], [3.0], [1.0]]
+
+    def test_cheap_points_batch_up_to_max(self):
+        tasks = [self._task(0, i, 0.01) for i in range(10)]
+        units = plan_dispatch(tasks, batch_cost_s=0.25, batch_max=4)
+        assert [len(unit) for unit in units] == [4, 4, 2]
+
+    def test_batch_max_one_disables_batching(self):
+        tasks = [self._task(0, i, 0.01) for i in range(3)]
+        units = plan_dispatch(tasks, batch_cost_s=0.25, batch_max=1)
+        assert [len(unit) for unit in units] == [1, 1, 1]
+
+    def test_plan_is_deterministic_under_ties(self):
+        tasks = [self._task(exp, i, 2.0) for exp in range(2) for i in range(3)]
+        first = plan_dispatch(tasks)
+        second = plan_dispatch(list(reversed(tasks)))
+        key = lambda units: [[(t.exp, t.point.index) for t in u] for u in units]
+        assert key(first) == key(second)
+        # Cost ties break on declaration order: exp ordinal, then index.
+        assert key(first)[0] == [(0, 0)]
+
+
+class TestSuiteExperiments:
+    def test_quick_kwargs_come_from_registry(self):
+        specs = suite_experiments(quick=True)
+        assert len(specs) >= 20
+        by_name = {spec.name: spec for spec in specs}
+        assert "fig04" in by_name
+        assert by_name["fig04"].kwargs  # quick mode scales something down
+
+    def test_full_mode_has_no_kwarg_overrides(self):
+        specs = suite_experiments(quick=False, names=["fig04"])
+        assert len(specs) == 1
+        assert specs[0].kwargs == {}
+
+    def test_names_preserve_registry_order_and_dedupe(self):
+        all_names = [spec.name for spec in suite_experiments()]
+        specs = suite_experiments(names=["table2", "fig04", "table2"])
+        names = [spec.name for spec in specs]
+        assert sorted(names, key=all_names.index) == names
+        assert len(names) == 2
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError, match="nope"):
+            suite_experiments(names=["nope"])
+
+
+class TestRunSuite:
+    def test_matches_serial_baseline(self):
+        suite = run_suite([ALPHA, BETA], jobs=1, cache=False)
+        serial = run_suite_serial([ALPHA, BETA], cache=False)
+        assert _canonical(suite.results) == _canonical(serial)
+        assert suite.points_total == 8
+        assert [run.name for run in suite.experiments] == ["alpha", "beta"]
+
+    def test_matches_serial_with_shared_pool(self, tmp_path):
+        serial = run_suite_serial([ALPHA, BETA], cache=False)
+        with WorkerPool(1) as pool:
+            cold = run_suite([ALPHA, BETA], pool=pool, cache=tmp_path / "cache")
+            warm = run_suite([ALPHA, BETA], pool=pool, cache=tmp_path / "cache")
+        assert _canonical(cold.results) == _canonical(serial)
+        assert _canonical(warm.results) == _canonical(serial)
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == warm.points_total
+
+    def test_report_and_journal(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with obs.capture() as session:
+            suite = run_suite([ALPHA], jobs=1, cache=cache_dir)
+        report = suite.report()
+        assert report["experiments"] == 1
+        assert report["points_total"] == 5
+        assert report["per_experiment"][0]["name"] == "alpha"
+        assert "stolen_idle_s" in report and "batches" in report
+        assert session.registry.counter("suite.points_done").value == 5
+        journal = (cache_dir / SUITE_JOURNAL_NAME).read_text().splitlines()
+        assert len(journal) == 1
+        record = json.loads(journal[0])
+        assert record["points_total"] == 5
+        assert record["cache"]["misses"] == 5
+
+    def test_progress_events_stream(self):
+        events = []
+        run_suite(
+            [ALPHA, BETA],
+            jobs=1,
+            cache=False,
+            progress=lambda event, payload: events.append((event, payload)),
+        )
+        kinds = [event for event, _ in events]
+        assert kinds.count("point") == 8
+        assert kinds.count("experiment") == 2
+        assert kinds[-1] == "suite"
+        # Each experiment event fires after its last point, with its name.
+        exp_names = [p["experiment"] for e, p in events if e == "experiment"]
+        assert exp_names == ["alpha", "beta"]
+
+    def test_legacy_module_without_sweep_rejected(self):
+        with pytest.raises(TypeError, match="declarative sweep"):
+            run_suite([LEGACY], jobs=1, cache=False)
+
+    def test_point_error_propagates(self):
+        with pytest.raises(RuntimeError, match="fake point 1 exploded"):
+            run_suite([ALPHA, POISONED], jobs=1, cache=False)
+
+    def test_fully_cached_experiment_finalizes_without_dispatch(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_suite([ALPHA], jobs=1, cache=cache_dir)
+        events = []
+        suite = run_suite(
+            [ALPHA],
+            jobs=1,
+            cache=cache_dir,
+            progress=lambda event, payload: events.append(event),
+        )
+        assert suite.cache_hits == 5
+        assert suite.experiments[0].computed == 0
+        assert events == ["experiment", "suite"]
+
+    def test_real_drivers_match_their_run_entrypoints(self):
+        # Smallest real experiments: the property matrix and fig04 quick.
+        specs = suite_experiments(names=["table2"])
+        suite = run_suite(specs, jobs=1, cache=False)
+        serial = run_suite_serial(specs, cache=False)
+        assert _canonical(suite.results) == _canonical(serial)
+
+
+class _SyntheticCosts(CostModel):
+    """Assign drawn costs to points by expansion order (stable per run)."""
+
+    def __init__(self, costs):
+        super().__init__()
+        self._costs = list(costs)
+        self._next = 0
+
+    def predict(self, point, experiment=None):
+        cost = self._costs[self._next % len(self._costs)]
+        self._next += 1
+        return cost
+
+
+class TestSchedulingNeverChangesResults:
+    """Satellite (d): byte-identity under randomized dispatch plans."""
+
+    REFERENCE = None
+
+    @classmethod
+    def _reference(cls):
+        if cls.REFERENCE is None:
+            cls.REFERENCE = _canonical(run_suite_serial([ALPHA, BETA], cache=False))
+        return cls.REFERENCE
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        costs=st.lists(
+            st.floats(min_value=1e-4, max_value=30.0, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=8,
+        ),
+        batch_cost_s=st.floats(min_value=0.0, max_value=40.0),
+        batch_max=st.integers(min_value=1, max_value=12),
+    )
+    def test_random_costs_and_batching_preserve_results(
+        self, costs, batch_cost_s, batch_max
+    ):
+        suite = run_suite(
+            [ALPHA, BETA],
+            jobs=1,
+            cache=False,
+            cost_model=_SyntheticCosts(costs),
+            batch_cost_s=batch_cost_s,
+            batch_max=batch_max,
+        )
+        assert _canonical(suite.results) == self._reference()
+
+    POOL = None
+
+    @classmethod
+    def setup_class(cls):
+        cls.POOL = WorkerPool(1)
+
+    @classmethod
+    def teardown_class(cls):
+        cls.POOL.close()
+        cls.POOL = None
+
+    @settings(max_examples=8, deadline=None)
+    @given(batch_max=st.integers(min_value=1, max_value=12))
+    def test_pool_reuse_across_examples_preserves_results(self, batch_max):
+        suite = run_suite([ALPHA, BETA], pool=self.POOL, cache=False, batch_max=batch_max)
+        assert _canonical(suite.results) == self._reference()

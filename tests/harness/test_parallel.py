@@ -9,6 +9,8 @@ is capturing.
 from __future__ import annotations
 
 import json
+import time
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
@@ -17,6 +19,7 @@ from repro.harness.experiments import fig14_read_ratio as fig14
 from repro.harness.parallel import (
     Sweep,
     SweepPoint,
+    WorkerPool,
     merge_histograms,
     merge_rows,
     point_seed,
@@ -33,6 +36,11 @@ def _square(value: int, seed: int = 0) -> dict:
 
 def _boom(value: int) -> dict:
     raise RuntimeError(f"point {value} exploded")
+
+
+def _sleep_then_square(value: int, sleep_s: float = 0.0) -> dict:
+    time.sleep(sleep_s)
+    return {"value": value, "squared": value * value}
 
 
 class TestRunSweep:
@@ -68,6 +76,40 @@ class TestRunSweep:
         points = [SweepPoint(index=0, label="x", fn=_boom, kwargs={"value": 7})]
         with pytest.raises(RuntimeError, match="point 7 exploded"):
             run_sweep(points, jobs=2)
+
+    def test_poisoned_point_surfaces_before_slow_siblings(self):
+        """Satellite (a): a failing point must not queue behind a slow one.
+
+        A slow point is submitted *first*; with completion-order
+        consumption the poisoned point's error surfaces while the slow
+        sibling is still sleeping, instead of after it finishes (which
+        is what submission-order iteration did).
+        """
+        slow_s = 2.5
+        points = [
+            SweepPoint(
+                index=0, label="slow", fn=_sleep_then_square,
+                kwargs={"value": 1, "sleep_s": slow_s},
+            ),
+            SweepPoint(index=1, label="poisoned", fn=_boom, kwargs={"value": 13}),
+        ]
+        with ProcessPoolExecutor(max_workers=2) as executor:
+            # Warm both workers so spawn cost stays out of the timing.
+            run_sweep(
+                [
+                    SweepPoint(index=i, label=f"warm{i}", fn=_sleep_then_square,
+                               kwargs={"value": i, "sleep_s": 0.2})
+                    for i in range(2)
+                ],
+                executor=executor,
+            )
+            started = time.perf_counter()
+            with pytest.raises(RuntimeError, match="point 13 exploded"):
+                run_sweep(points, executor=executor)
+            elapsed = time.perf_counter() - started
+        assert elapsed < slow_s, (
+            f"error took {elapsed:.2f}s to surface -- it waited out the slow point"
+        )
 
 
 class TestJobsClamp:
@@ -121,6 +163,19 @@ class TestSweepBuilder:
         assert sweep.seed_for("a") != sweep.seed_for("b")
         assert sweep.seed_for("a") == Sweep("other-name", root_seed=7).seed_for("a")
 
+    def test_duplicate_labels_rejected(self):
+        """Satellite (b): duplicate labels would silently share a seed."""
+        sweep = Sweep("s")
+        sweep.point(_square, label="same", value=1)
+        with pytest.raises(ValueError, match="duplicate sweep point label 'same'"):
+            sweep.point(_square, label="same", value=2)
+
+    def test_duplicate_default_labels_rejected(self):
+        sweep = Sweep("s")
+        sweep.point(_square, value=3)
+        with pytest.raises(ValueError, match="duplicate"):
+            sweep.point(_square, value=3)
+
     def test_sweep_axes_nested_loop_order(self):
         combos = sweep_axes({"x": (1, 2), "y": ("a", "b")})
         assert combos == [
@@ -129,6 +184,41 @@ class TestSweepBuilder:
             {"x": 2, "y": "a"},
             {"x": 2, "y": "b"},
         ]
+
+
+class TestWorkerPool:
+    def test_pool_is_lazy_until_first_dispatch(self):
+        pool = WorkerPool(1)
+        assert pool._executor is None
+        pool.close()  # closing a never-used pool is a no-op
+
+    def test_sweeps_reusing_one_pool_match_serial(self):
+        points_a = [
+            SweepPoint(index=i, label=f"a{i}", fn=_square, kwargs={"value": i})
+            for i in range(4)
+        ]
+        points_b = [
+            SweepPoint(index=i, label=f"b{i}", fn=_square, kwargs={"value": i + 10})
+            for i in range(3)
+        ]
+        with WorkerPool(1) as pool:
+            pooled_a = run_sweep(points_a, pool=pool)
+            pooled_b = run_sweep(points_b, pool=pool)
+        assert pooled_a == run_sweep(points_a, jobs=1)
+        assert pooled_b == run_sweep(points_b, jobs=1)
+
+    def test_error_inside_pool_leaves_it_usable(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(RuntimeError, match="point 7 exploded"):
+                run_sweep(
+                    [SweepPoint(index=0, label="x", fn=_boom, kwargs={"value": 7})],
+                    pool=pool,
+                )
+            survivors = run_sweep(
+                [SweepPoint(index=0, label="ok", fn=_square, kwargs={"value": 2})],
+                pool=pool,
+            )
+        assert survivors == [{"value": 2, "squared": 4, "seed": 0}]
 
 
 class TestMergeHelpers:

@@ -127,13 +127,18 @@ class TestCliCache:
         assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
         assert json.loads(capsys.readouterr().out)["entries"] == 2
 
-    def test_unsupported_driver_warns_and_runs(self, capsys, tmp_path):
-        # table2 has no sweep, hence no cache support.
+    def test_single_point_driver_caches_too(self, capsys, tmp_path):
+        # Since the declarative-sweep port every driver has a sweep --
+        # even table2's property matrix, which is one cached point.
         cache_dir = str(tmp_path / "cache")
         assert main(["run", "table2", "--quick", "--cache-dir", cache_dir]) == 0
         captured = capsys.readouterr()
-        assert "does not support --cache" in captured.err
+        assert "does not support --cache" not in captured.err
         assert "Table 2" in captured.out
+        import json
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 1
 
 
 class TestCliCalibrate:
