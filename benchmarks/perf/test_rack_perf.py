@@ -1,0 +1,101 @@
+"""Rack-churn wall-clock benchmark: events/s through a full tenant lifecycle.
+
+Times a mid-size churn schedule (dozens of tenants arriving, running
+and departing over a 2-JBOF rack) with the kernel probe attached, and
+records the event throughput in ``BENCH_rack.json`` at the repo root.
+Raw rates are machine-dependent, so the report also carries the rate
+normalized by the frozen pre-optimisation kernel's chain-scenario rate
+measured in the same process (the scheme ``test_kernel_perf.py``
+uses); the normalized number is comparable across machines and can be
+frozen into a baseline once enough runs exist.
+
+The hard gates here are correctness, not speed: the run must be
+deterministic (two identical schedules produce byte-identical
+results) and must hand every mega blob back to the rack allocator.
+Quick mode (``REPRO_PERF_QUICK=1``) shrinks the population for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import baseline_kernel
+from test_kernel_perf import scenario_chain
+
+from repro.harness.kvcluster import KvCluster, KvClusterConfig
+from repro.obs import KernelProbe
+from repro.workloads.population import TenantPopulation
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+OUTPUT_PATH = REPO_ROOT / "BENCH_rack.json"
+
+QUICK = os.environ.get("REPRO_PERF_QUICK", "") not in ("", "0")
+TENANTS = 12 if QUICK else 32
+HORIZON_US = 200_000.0 if QUICK else 400_000.0
+
+
+def _chain_rate() -> float:
+    """Best-of-2 event rate of the frozen baseline kernel's chain scenario."""
+    best = 0.0
+    for _ in range(2):
+        sim = baseline_kernel.Simulator()
+        start = time.perf_counter()
+        fired = scenario_chain(sim, 60_000 if QUICK else 400_000)
+        best = max(best, fired / (time.perf_counter() - start))
+    return best
+
+
+def _churn_once() -> tuple[dict, int, float]:
+    """One full churn schedule: (outcome, events fired, wall seconds)."""
+    cluster = KvCluster(
+        KvClusterConfig(
+            scheme="gimbal",
+            condition="clean",
+            num_jbofs=2,
+            ssds_per_jbof=2,
+            seed=11,
+        )
+    )
+    probe = KernelProbe(detailed=False)
+    cluster.sim.probe = probe
+    specs = TenantPopulation(
+        tenants=TENANTS, horizon_us=HORIZON_US, churn=0.8, seed=5
+    ).generate()
+    start = time.perf_counter()
+    outcome = cluster.run_population(specs)
+    wall = time.perf_counter() - start
+    return outcome, probe.fired_total, wall
+
+
+def test_rack_churn_event_rate():
+    first, events, wall = _churn_once()
+    second, _, _ = _churn_once()
+
+    # Correctness gates: reclamation and determinism.
+    assert first["megas_leaked"] == 0
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    rate = events / wall
+    chain = _chain_rate()
+    report = {
+        "suite": "rack",
+        "quick": QUICK,
+        "cpu_count": os.cpu_count(),
+        "tenants": TENANTS,
+        "horizon_us": HORIZON_US,
+        "events_fired": events,
+        "wall_seconds": round(wall, 3),
+        "events_per_second": round(rate, 1),
+        "baseline_chain_rate": round(chain, 1),
+        "normalized_rate": round(rate / chain, 4),
+        "megas_allocated": first["megas_allocated"],
+        "peak_tenants": first["peak_tenants"],
+        "drained_us": first["drained_us"],
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(json.dumps(report, indent=2))
+    assert events > 0 and rate > 0

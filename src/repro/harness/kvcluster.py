@@ -10,12 +10,22 @@ Three client-side switches reproduce Figure 13's ablation:
   limiter); off = unlimited submission;
 * ``load_balance`` -- reads steered to the least-loaded replica;
 * replication itself is always on (fault tolerance), as in the paper.
+
+Beyond the static figure-13 shape, the cluster supports *tenant
+churn* at rack scale: instances can arrive mid-run
+(:meth:`KvCluster.add_instance` inside a running simulation), depart
+gracefully (:meth:`KvCluster.depart_instance` -- stop the client,
+wait for background LSM work and in-flight IO to drain, delete every
+file, hand all mega blobs back to the rack allocator, disconnect the
+sessions), and a whole :class:`~repro.workloads.population.TenantSpec`
+schedule can be executed end to end with
+:meth:`KvCluster.run_population`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.fabric import (
     CreditClientPolicy,
@@ -38,6 +48,7 @@ from repro.kv import (
 from repro.sim import RngRegistry, Simulator
 from repro.ssd import SsdDevice, SsdGeometry, precondition_clean, precondition_fragmented
 from repro.workloads.patterns import AddressRegion
+from repro.workloads.population import TenantSpec
 from repro.workloads.ycsb import YCSB_WORKLOADS
 
 from repro.baselines import FifoScheduler, FlashFqScheduler, ReflexScheduler
@@ -62,6 +73,8 @@ class KvClusterConfig:
     mega_pages: int = 2048
     micro_pages: int = 64
     lsm: LsmConfig = field(default_factory=LsmConfig)
+    #: Departure-protocol polling interval (simulated microseconds).
+    depart_poll_us: float = 50.0
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -69,6 +82,27 @@ class KvClusterConfig:
             raise ValueError(f"unknown scheme {self.scheme!r}")
         if self.num_jbofs <= 0 or self.ssds_per_jbof <= 0:
             raise ValueError("cluster must have at least one SSD")
+        if self.depart_poll_us <= 0:
+            raise ValueError("departure poll interval must be positive")
+
+
+@dataclass
+class KvInstance:
+    """Everything one DB instance owns inside the cluster."""
+
+    name: str
+    initiator: NvmeOfInitiator
+    backends: Dict[str, RemoteBackend]
+    allocator: LocalBlobAllocator
+    store: Blobstore
+    tree: LsmTree
+    runner: YcsbRunner
+    arrived_us: float
+    departing: bool = False
+
+    @property
+    def outstanding(self) -> int:
+        return sum(backend.outstanding for backend in self.backends.values())
 
 
 class KvCluster:
@@ -113,6 +147,14 @@ class KvCluster:
                     backend_name, AddressRegion(0, device.exported_pages)
                 )
         self.runners: List[YcsbRunner] = []
+        self.instances: Dict[str, KvInstance] = {}
+        # Rack-lifecycle accounting (see register_metrics).
+        self.tenants_arrived = 0
+        self.tenants_departed = 0
+        self.peak_tenants = 0
+        self.peak_megas_in_use = 0
+        self._departed_reads_to_primary = 0
+        self._departed_reads_to_shadow = 0
 
     # ------------------------------------------------------------------
     # Scheme wiring
@@ -155,7 +197,14 @@ class KvCluster:
         record_count: int = 2048,
         concurrency: int = 4,
     ) -> YcsbRunner:
-        """One DB instance with sessions to every SSD in the rack."""
+        """One DB instance with sessions to every SSD in the rack.
+
+        Safe to call both before the simulation starts (the static
+        figure-10/13 shape) and from inside a running simulation (a
+        tenant arrival).
+        """
+        if name in self.instances:
+            raise ValueError(f"instance {name!r} already exists")
         initiator = NvmeOfInitiator(self.sim, self.network, f"client-{name}")
         backends: Dict[str, RemoteBackend] = {}
         for target in self.targets:
@@ -193,7 +242,199 @@ class KvCluster:
             concurrency=concurrency,
         )
         self.runners.append(runner)
+        self.instances[name] = KvInstance(
+            name=name,
+            initiator=initiator,
+            backends=backends,
+            allocator=allocator,
+            store=store,
+            tree=tree,
+            runner=runner,
+            arrived_us=self.sim.now,
+        )
+        self.tenants_arrived += 1
+        self.peak_tenants = max(self.peak_tenants, len(self.instances))
+        self._note_mega_occupancy()
         return runner
+
+    def _note_mega_occupancy(self) -> None:
+        in_use = (
+            self.global_allocator.total_megas
+            - self.global_allocator.total_available_megas
+        )
+        if in_use > self.peak_megas_in_use:
+            self.peak_megas_in_use = in_use
+
+    # ------------------------------------------------------------------
+    # Departure
+    # ------------------------------------------------------------------
+    def depart_instance(
+        self,
+        name: str,
+        on_done: Optional[Callable[[Dict[str, object]], None]] = None,
+        poll_us: Optional[float] = None,
+    ) -> None:
+        """Gracefully retire one DB instance (a tenant departure).
+
+        Stops the client, then waits (polling simulated time) until the
+        LSM tree is quiescent and all fabric IO has drained before
+        deleting the instance's files -- deleting under a mid-flight
+        compaction would double-free the tables the compaction still
+        references.  Once the deletion trims drain too, every mega blob
+        goes back to the rack allocator, the sessions disconnect, and
+        ``on_done`` receives the tenant's final results.
+        """
+        inst = self.instances[name]
+        if inst.departing:
+            raise ValueError(f"instance {name!r} is already departing")
+        inst.departing = True
+        inst.runner.stop()
+        interval = poll_us if poll_us is not None else self.config.depart_poll_us
+        self._note_mega_occupancy()
+
+        def wait_quiesce() -> None:
+            if inst.tree.quiescent and inst.outstanding == 0:
+                for file in list(inst.store.files.values()):
+                    inst.store.delete(file)
+                self.sim.schedule(interval, wait_trim_drain)
+            else:
+                self.sim.schedule(interval, wait_quiesce)
+
+        def wait_trim_drain() -> None:
+            if inst.outstanding == 0:
+                finalize()
+            else:
+                self.sim.schedule(interval, wait_trim_drain)
+
+        def finalize() -> None:
+            result = inst.runner.results()
+            result["departed_us"] = self.sim.now
+            result["arrived_us"] = inst.arrived_us
+            result["megas_acquired"] = inst.allocator.megas_acquired
+            result["megas_released"] = inst.allocator.megas_released
+            inst.allocator.release_all()
+            result["megas_released_total"] = inst.allocator.megas_released
+            self._departed_reads_to_primary += inst.store.reads_to_primary
+            self._departed_reads_to_shadow += inst.store.reads_to_shadow
+            for backend_name, backend in inst.backends.items():
+                backend.session.disconnect()
+                self._backends_by_ssd[backend_name].remove(backend)
+            del self.instances[name]
+            self.runners.remove(inst.runner)
+            self.tenants_departed += 1
+            if on_done is not None:
+                on_done(result)
+
+        wait_quiesce()
+
+    # ------------------------------------------------------------------
+    # Rack-scale population execution
+    # ------------------------------------------------------------------
+    def run_population(
+        self, specs: List[TenantSpec], poll_us: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Execute a full tenant churn schedule and drain the rack.
+
+        Every spec arrives at its ``arrival_us``, loads, runs its
+        workload, and departs after its lifetime (measured from the
+        moment loading finished, so short-lived tenants still do real
+        work).  The call returns when the last tenant has departed;
+        afterwards the rack holds zero instances and -- thanks to
+        allocator reclamation -- the global mega-blob pool is exactly
+        as available as before the churn.
+        """
+        if self.instances:
+            raise RuntimeError("run_population needs an empty rack to start from")
+        pre_available = self.global_allocator.total_available_megas
+        results: Dict[str, Dict[str, object]] = {}
+
+        def launch(spec: TenantSpec) -> None:
+            runner = self.add_instance(
+                spec.name,
+                spec.workload,
+                record_count=spec.record_count,
+                concurrency=spec.concurrency,
+            )
+
+            def loaded() -> None:
+                runner.start()
+                runner.begin_measurement()
+                self.sim.schedule(spec.lifetime_us, depart)
+
+            def depart() -> None:
+                self.depart_instance(
+                    spec.name, on_done=lambda result: record(spec, result), poll_us=poll_us
+                )
+
+            runner.load(loaded)
+
+        def record(spec: TenantSpec, result: Dict[str, object]) -> None:
+            result["tenant_class"] = spec.tenant_class
+            result["record_count"] = spec.record_count
+            result["concurrency"] = spec.concurrency
+            results[spec.name] = result
+
+        for spec in specs:
+            self.sim.schedule(max(0.0, spec.arrival_us - self.sim.now), launch, spec)
+        self.sim.run()
+        if self.instances:
+            raise RuntimeError(
+                f"{len(self.instances)} instances still resident after the "
+                "population drained"
+            )
+        missing = [spec.name for spec in specs if spec.name not in results]
+        if missing:
+            raise RuntimeError(f"{len(missing)} tenants never departed: {missing[:5]}")
+        post_available = self.global_allocator.total_available_megas
+        return {
+            "tenants": [results[spec.name] for spec in specs],
+            "peak_tenants": self.peak_tenants,
+            "peak_megas_in_use": self.peak_megas_in_use,
+            "megas_allocated": self.global_allocator.megas_allocated,
+            "megas_freed": self.global_allocator.megas_freed,
+            "megas_leaked": pre_available - post_available,
+            "reads_to_primary": self.reads_to_primary,
+            "reads_to_shadow": self.reads_to_shadow,
+            "drained_us": self.sim.now,
+        }
+
+    # ------------------------------------------------------------------
+    # Rack-level accounting
+    # ------------------------------------------------------------------
+    @property
+    def reads_to_primary(self) -> int:
+        return self._departed_reads_to_primary + sum(
+            inst.store.reads_to_primary for inst in self.instances.values()
+        )
+
+    @property
+    def reads_to_shadow(self) -> int:
+        return self._departed_reads_to_shadow + sum(
+            inst.store.reads_to_shadow for inst in self.instances.values()
+        )
+
+    def register_metrics(self, registry, prefix: str = "rack") -> None:
+        """Install rack occupancy/reclamation/steering gauges.
+
+        Gauges are pull metrics (sampled at read time), so registering
+        them costs the simulation hot path nothing.
+        """
+        allocator = self.global_allocator
+        registry.gauge(f"{prefix}.active_tenants", lambda: len(self.instances))
+        registry.gauge(f"{prefix}.peak_tenants", lambda: self.peak_tenants)
+        registry.gauge(f"{prefix}.tenants_arrived", lambda: self.tenants_arrived)
+        registry.gauge(f"{prefix}.tenants_departed", lambda: self.tenants_departed)
+        registry.gauge(f"{prefix}.megas_total", lambda: allocator.total_megas)
+        registry.gauge(
+            f"{prefix}.megas_available", lambda: allocator.total_available_megas
+        )
+        registry.gauge(f"{prefix}.megas_allocated", lambda: allocator.megas_allocated)
+        registry.gauge(f"{prefix}.megas_freed", lambda: allocator.megas_freed)
+        registry.gauge(
+            f"{prefix}.peak_megas_in_use", lambda: self.peak_megas_in_use
+        )
+        registry.gauge(f"{prefix}.reads_to_primary", lambda: self.reads_to_primary)
+        registry.gauge(f"{prefix}.reads_to_shadow", lambda: self.reads_to_shadow)
 
     # ------------------------------------------------------------------
     # Execution

@@ -171,7 +171,17 @@ class Blobstore:
         shadow = file.shadow[blob_index]
         primary_load = self.backends[primary.backend].load_score
         shadow_load = self.backends[shadow.backend].load_score
+        if shadow_load > primary_load:
+            self.reads_to_primary += 1
+            return primary
         if shadow_load < primary_load:
+            self.reads_to_shadow += 1
+            return shadow
+        # Tied load scores: an unloaded (or uniformly loaded) rack
+        # would otherwise send 100% of reads to primaries, understating
+        # the load balancer.  Steer by cumulative reads so ties
+        # alternate between the copies.
+        if self.reads_to_shadow < self.reads_to_primary:
             self.reads_to_shadow += 1
             return shadow
         self.reads_to_primary += 1

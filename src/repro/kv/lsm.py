@@ -56,6 +56,11 @@ class LsmConfig:
     bloom_fp_rate: float = 0.01
     #: WAL group-commit batch bound (pages).
     wal_batch_pages: int = 8
+    #: CPU cost of a lookup served without IO (memtable hit, definite
+    #: miss, in-memory scan).  Must be positive: a closed-loop client
+    #: over a memtable-resident dataset would otherwise issue infinite
+    #: operations without simulated time ever advancing.
+    mem_read_us: float = 1.0
 
     def __post_init__(self) -> None:
         if self.record_bytes <= 0 or self.memtable_bytes < self.record_bytes:
@@ -66,6 +71,8 @@ class LsmConfig:
             raise ValueError("invalid level shape")
         if not 0.0 <= self.bloom_fp_rate < 1.0:
             raise ValueError("bloom FP rate must be in [0, 1)")
+        if self.mem_read_us <= 0:
+            raise ValueError("in-memory read cost must be positive")
 
     @property
     def records_per_page(self) -> int:
@@ -353,7 +360,7 @@ class LsmTree:
         self.stats.gets += 1
         if key in self.memtable or (self.immutable is not None and key in self.immutable):
             self.stats.memtable_hits += 1
-            self.sim.schedule(0.0, on_done, True)
+            self.sim.schedule(self.config.mem_read_us, on_done, True)
             return
         candidates = self._candidate_tables(key)
         self._probe(key, candidates, 0, on_done)
@@ -392,7 +399,7 @@ class LsmTree:
                 priority=1,
             )
             return
-        self.sim.schedule(0.0, on_done, False)
+        self.sim.schedule(self.config.mem_read_us, on_done, False)
 
     # ------------------------------------------------------------------
     # Range scans (YCSB-E)
@@ -427,7 +434,7 @@ class LsmTree:
                 touched_tables.append((table, first, last))
         result = sorted(candidates)[:count]
         if not result:
-            self.sim.schedule(0.0, on_done, [])
+            self.sim.schedule(self.config.mem_read_us, on_done, [])
             return
         # Read the page span each contributing table covers.
         pending = {"count": 0}
@@ -455,11 +462,29 @@ class LsmTree:
             self.store.read(table.file, first_page, npages, one_done)
         started["all"] = True
         if pending["count"] == 0:
-            self.sim.schedule(0.0, on_done, result)
+            self.sim.schedule(self.config.mem_read_us, on_done, result)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def quiescent(self) -> bool:
+        """No background work in flight or queued.
+
+        A departing tenant must wait for this before deleting its
+        files: a mid-flight flush or compaction still references (and
+        will itself delete) table files, so tearing them down early
+        would double-free their blobs.
+        """
+        return not (
+            self._flushing
+            or self._compacting
+            or self._wal_inflight
+            or self._wal_pending
+            or self._stall_queue
+            or self.immutable is not None
+        )
+
     @property
     def total_tables(self) -> int:
         return sum(len(level) for level in self.levels)

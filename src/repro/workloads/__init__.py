@@ -10,6 +10,13 @@ RocksDB case study.
 
 from repro.workloads.fio import FioSpec, FioWorker
 from repro.workloads.patterns import AddressRegion, RandomPattern, SequentialPattern
+from repro.workloads.population import (
+    DEFAULT_TENANT_CLASSES,
+    TenantClass,
+    TenantPopulation,
+    TenantSpec,
+    peak_concurrent,
+)
 from repro.workloads.replay import ReplayWorker
 from repro.workloads.trace import TraceRecord, TraceRecorder
 from repro.workloads.ycsb import (
@@ -21,6 +28,11 @@ from repro.workloads.ycsb import (
 )
 
 __all__ = [
+    "DEFAULT_TENANT_CLASSES",
+    "TenantClass",
+    "TenantPopulation",
+    "TenantSpec",
+    "peak_concurrent",
     "FioSpec",
     "FioWorker",
     "AddressRegion",

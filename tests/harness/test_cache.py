@@ -205,8 +205,12 @@ class TestPrune:
 
     def test_prune_by_bytes(self, tmp_path):
         cache, _ = self._filled(tmp_path)
-        entry_bytes = cache.entries()[0]["size_bytes"]
-        removed = cache.prune(max_bytes=entry_bytes * 2)
+        # Entry sizes differ by a byte or two (the "saved_at" float's
+        # JSON width varies), so budget exactly the two newest entries
+        # rather than assuming uniform sizes.
+        by_age = sorted(cache.entries(), key=lambda entry: entry["mtime"])
+        budget = sum(entry["size_bytes"] for entry in by_age[2:])
+        removed = cache.prune(max_bytes=budget)
         assert removed == 2
         assert len(cache.entries()) == 2
 

@@ -116,10 +116,13 @@ class TestLocalAllocator:
     def test_free_returns_to_pool(self):
         global_allocator = make_global()
         local = LocalBlobAllocator(global_allocator, micro_pages=64)
-        micro = local.allocate_micro()
+        first = local.allocate_micro()
+        second = local.allocate_micro()
         before = local.free_micros
-        local.free_micro(micro)
+        local.free_micro(first)
+        # One micro still live in the mega: the free stays local.
         assert local.free_micros == before + 1
+        assert second.backend == first.backend
 
     @settings(max_examples=25, deadline=None)
     @given(st.lists(st.booleans(), min_size=1, max_size=120))
@@ -143,3 +146,124 @@ class TestLocalAllocator:
             for (b1, s1, e1), (b2, s2, e2) in zip(spans, spans[1:]):
                 if b1 == b2:
                     assert e1 <= s2, "overlapping live blobs"
+
+
+class TestReclamation:
+    """Churn-path regression tests: megas must flow back to the rack."""
+
+    def test_wholly_free_mega_returns_to_global(self):
+        global_allocator = make_global(backends=2, megas_per_backend=4)
+        local = LocalBlobAllocator(global_allocator, micro_pages=64)
+        micros = [local.allocate_micro() for _ in range(4)]  # drains one mega
+        backend = micros[0].backend
+        assert global_allocator.available_megas(backend) == 3
+        for micro in micros:
+            local.free_micro(micro)
+        # The mega coalesced and left the local pool entirely.
+        assert global_allocator.available_megas(backend) == 4
+        assert local.free_micros == 0
+        assert local.held_megas == 0
+        assert local.megas_released == 1
+
+    def test_partial_free_keeps_mega_held(self):
+        global_allocator = make_global()
+        local = LocalBlobAllocator(global_allocator, micro_pages=64)
+        micros = [local.allocate_micro() for _ in range(4)]
+        for micro in micros[:-1]:
+            local.free_micro(micro)
+        assert local.held_megas == 1
+        assert local.free_micros == 3
+        assert global_allocator.megas_freed == 0
+
+    def test_double_free_of_micro_rejected(self):
+        global_allocator = make_global()
+        local = LocalBlobAllocator(global_allocator, micro_pages=64)
+        first = local.allocate_micro()
+        second = local.allocate_micro()  # keeps the mega held
+        local.free_micro(first)
+        with pytest.raises(ValueError):
+            local.free_micro(first)
+        local.free_micro(second)
+
+    def test_release_all_on_departure(self):
+        global_allocator = make_global(backends=2, megas_per_backend=4)
+        local = LocalBlobAllocator(global_allocator, micro_pages=64)
+        micros = [local.allocate_micro() for _ in range(6)]  # spans two megas
+        for micro in micros[:-1]:
+            local.free_micro(micro)
+        with pytest.raises(RuntimeError):
+            local.release_all()  # one micro still live
+        local.free_micro(micros[-1])
+        local.release_all()
+        assert local.held_megas == 0
+        assert global_allocator.total_available_megas == global_allocator.total_megas
+
+    def test_released_mega_reusable_by_other_instance(self):
+        global_allocator = make_global(backends=1, megas_per_backend=1)
+        first = LocalBlobAllocator(global_allocator, micro_pages=64)
+        micro = first.allocate_micro()
+        first.free_micro(micro)  # coalesces: the only mega goes back
+        second = LocalBlobAllocator(global_allocator, micro_pages=64)
+        again = second.allocate_micro()  # would raise before reclamation
+        assert again.backend == micro.backend
+
+    def test_reallocation_after_coalesce_tracks_new_mega(self):
+        global_allocator = make_global(backends=1, megas_per_backend=2)
+        local = LocalBlobAllocator(global_allocator, micro_pages=64)
+        micros = [local.allocate_micro() for _ in range(4)]
+        for micro in micros:
+            local.free_micro(micro)
+        assert local.held_megas == 0
+        fresh = local.allocate_micro()
+        local.free_micro(fresh)
+        assert local.held_megas == 0
+        assert global_allocator.total_available_megas == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=200))
+    def test_churn_conserves_the_global_pool(self, ops):
+        """Property: megas are conserved -- every mega is either free in
+        the global pool or held by the local allocator, and releasing
+        everything restores the pre-churn availability exactly."""
+        global_allocator = make_global(backends=2, megas_per_backend=3, mega_pages=256)
+        total = global_allocator.total_megas
+        local = LocalBlobAllocator(global_allocator, micro_pages=64)
+        live = []
+        for op in ops:
+            if op == 0:
+                try:
+                    live.append(local.allocate_micro())
+                except RuntimeError:
+                    continue
+            elif op == 1 and live:
+                local.free_micro(live.pop(0))
+            elif op == 2 and live:
+                local.free_micro(live.pop())
+            assert global_allocator.total_available_megas + local.held_megas == total
+            assert local.live_micros == len(live)
+        for micro in live:
+            local.free_micro(micro)
+        local.release_all()
+        assert global_allocator.total_available_megas == total
+        assert global_allocator.megas_allocated == global_allocator.megas_freed
+
+
+class TestAlignmentValidation:
+    def test_misaligned_mega_free_rejected(self):
+        allocator = make_global(backends=1, megas_per_backend=2, mega_pages=256)
+        mega = allocator.allocate_mega()
+        with pytest.raises(ValueError, match="misaligned"):
+            allocator.free_mega(BlobAddress(mega.backend, mega.lba + 64, mega.npages))
+        # The aligned free still works afterwards: the bitmap is intact.
+        allocator.free_mega(mega)
+
+    def test_misaligned_free_does_not_corrupt_neighbor_slot(self):
+        allocator = make_global(backends=1, megas_per_backend=2, mega_pages=256)
+        first = allocator.allocate_mega()
+        second = allocator.allocate_mega()
+        with pytest.raises(ValueError):
+            allocator.free_mega(BlobAddress(first.backend, second.lba + 1, 256))
+        # Neither slot was freed by the bad call.
+        assert allocator.available_megas(first.backend) == 0
+        allocator.free_mega(first)
+        allocator.free_mega(second)

@@ -59,10 +59,27 @@ class TestFiles:
         store = build_store(sim)
         file = store.create("f")
         store.extend(file, 64)
-        free_before = store.allocator.free_micros
+        held_before = store.allocator.held_megas
+        live_before = store.allocator.live_micros
         store.delete(file)
-        assert store.allocator.free_micros == free_before + 2  # primary + shadow
+        # Primary + shadow freed; their megas (now wholly free) went
+        # back to the global pool instead of lingering in the local one.
+        assert store.allocator.live_micros == live_before - 2
+        assert store.allocator.held_megas < held_before
         assert "f" not in store.files
+
+    def test_delete_then_departure_leaks_no_megas(self, sim):
+        store = build_store(sim)
+        total = store.allocator.global_allocator.total_megas
+        files = []
+        for index in range(4):
+            file = store.create(f"f{index}")
+            store.extend(file, 256)
+            files.append(file)
+        for file in files:
+            store.delete(file)
+        store.allocator.release_all()
+        assert store.allocator.global_allocator.total_available_megas == total
 
 
 class TestIo:
@@ -129,6 +146,18 @@ class TestIo:
             store.read(file, 0, 1, lambda: None)
         assert store.reads_to_primary == 5
         assert store.reads_to_shadow == 0
+
+    def test_tied_load_scores_alternate_between_replicas(self, sim):
+        """Regression: an unloaded rack must not send 100% of reads to
+        primaries -- tied load scores steer by cumulative reads."""
+        store = build_store(sim)
+        file = store.create("f")
+        store.extend(file, 64)
+        for _ in range(10):
+            store.read(file, 0, 1, lambda: None)
+            sim.run()  # drain so both backends return to zero load
+        assert store.reads_to_primary == 5
+        assert store.reads_to_shadow == 5
 
 
 class TestRemoteBackend:

@@ -1,0 +1,123 @@
+"""Tests for the rack-scale tenant population generator."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.population import (
+    DEFAULT_TENANT_CLASSES,
+    TenantClass,
+    TenantPopulation,
+    TenantSpec,
+    peak_concurrent,
+)
+
+
+def make_population(**kwargs):
+    defaults = dict(tenants=100, horizon_us=1_000_000.0, seed=3)
+    defaults.update(kwargs)
+    return TenantPopulation(**defaults)
+
+
+class TestTenantClass:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            TenantClass("x", "Z", (128,), (1,))
+
+    def test_empty_options_rejected(self):
+        with pytest.raises(ValueError):
+            TenantClass("x", "A", (), (1,))
+
+
+class TestTenantSpec:
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            TenantSpec("t", "c", "A", 0, 1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", "c", "A", 1, 1, 0.0, 0.0)
+
+    def test_departure_derived(self):
+        spec = TenantSpec("t", "c", "A", 1, 1, 10.0, 5.0)
+        assert spec.departure_us == 15.0
+
+
+class TestTenantPopulation:
+    def test_generates_requested_count(self):
+        specs = make_population().generate()
+        assert len(specs) == 100
+        assert len({spec.name for spec in specs}) == 100
+
+    def test_deterministic_from_seed(self):
+        assert make_population(seed=9).generate() == make_population(seed=9).generate()
+
+    def test_different_seeds_differ(self):
+        assert make_population(seed=1).generate() != make_population(seed=2).generate()
+
+    def test_sorted_by_arrival(self):
+        specs = make_population(churn=0.8).generate()
+        arrivals = [spec.arrival_us for spec in specs]
+        assert arrivals == sorted(arrivals)
+
+    def test_zero_churn_means_simultaneous_arrival(self):
+        specs = make_population(churn=0.0).generate()
+        assert all(spec.arrival_us == 0.0 for spec in specs)
+
+    def test_churn_spreads_arrivals(self):
+        specs = make_population(tenants=200, churn=1.0).generate()
+        arrivals = {spec.arrival_us for spec in specs}
+        assert len(arrivals) > 100  # exponential gaps, not a burst
+        assert max(arrivals) <= 1_000_000.0
+
+    def test_every_tenant_departs_within_horizon_plus_floor(self):
+        population = make_population(tenants=300, churn=1.0)
+        for spec in population.generate():
+            assert spec.departure_us <= population.horizon_us + population.min_lifetime_us
+
+    def test_heavy_hitter_skew_over_classes(self):
+        specs = make_population(tenants=2000, skew=0.95).generate()
+        counts = Counter(spec.tenant_class for spec in specs)
+        head = DEFAULT_TENANT_CLASSES[0].name
+        tail = DEFAULT_TENANT_CLASSES[-1].name
+        assert counts[head] > 3 * counts[tail]
+        # The long tail is a mix, not a monoculture.
+        assert len(counts) == len(DEFAULT_TENANT_CLASSES)
+
+    def test_specs_pull_from_class_options(self):
+        classes = {cls.name: cls for cls in DEFAULT_TENANT_CLASSES}
+        for spec in make_population(tenants=200).generate():
+            cls = classes[spec.tenant_class]
+            assert spec.workload == cls.workload
+            assert spec.record_count in cls.record_counts
+            assert spec.concurrency in cls.concurrencies
+
+    def test_external_rng_supported(self):
+        rng = random.Random(5)
+        specs = TenantPopulation(tenants=10, horizon_us=1e6, rng=rng).generate()
+        assert len(specs) == 10
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_population(tenants=0)
+        with pytest.raises(ValueError):
+            make_population(horizon_us=0.0)
+        with pytest.raises(ValueError):
+            make_population(churn=1.5)
+        with pytest.raises(ValueError):
+            make_population(classes=())
+
+
+class TestPeakConcurrent:
+    def test_counts_overlap(self):
+        specs = [
+            TenantSpec("a", "c", "A", 1, 1, 0.0, 10.0),
+            TenantSpec("b", "c", "A", 1, 1, 5.0, 10.0),
+            TenantSpec("c", "c", "A", 1, 1, 20.0, 5.0),
+        ]
+        assert peak_concurrent(specs) == 2
+
+    def test_population_peak_below_total_under_churn(self):
+        specs = make_population(tenants=200, churn=1.0, mean_lifetime_us=100_000.0).generate()
+        assert 0 < peak_concurrent(specs) < 200
