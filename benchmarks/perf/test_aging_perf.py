@@ -1,0 +1,110 @@
+"""Aged-device fio replay benchmark (report-only).
+
+The fidelity layers put extra Python on the hot path: every FTL
+interaction consults the mapping cache, GC runs the retirement and
+static wear-levelling passes, and map misses charge channel time.
+This benchmark replays the ``test_e2e_perf`` fio workload on an aged,
+fidelity-enabled device (age 0.8, thrashing 8-page mapping cache,
+finite endurance, static wear levelling on) and reports the
+wall-clock cost relative to the same replay on the reference clean
+device in the same process.
+
+Report-only by design: the interesting number is the *overhead
+ratio*, and what a regression would mean depends on what the change
+bought (a ratio gate would punish any future fidelity feature).  The
+numbers land in ``BENCH_aging.json`` at the repo root, alongside the
+gated suites' artifacts.  Quick mode (``REPRO_PERF_QUICK=1``) shrinks
+the windows for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.harness.testbed import Testbed, TestbedConfig
+from repro.obs import KernelProbe
+from repro.ssd import SsdGeometry
+from repro.workloads import FioSpec
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+OUTPUT_PATH = REPO_ROOT / "BENCH_aging.json"
+
+QUICK = os.environ.get("REPRO_PERF_QUICK", "") not in ("", "0")
+MEASURE_US = 100_000.0 if QUICK else 500_000.0
+WARMUP_US = 50_000.0
+
+#: Same enterprise-style geometry as the aging experiment: enough
+#: spare blocks for retirement to actually run during the replay.
+GEOMETRY = SsdGeometry(
+    num_channels=8, blocks_per_channel=44, pages_per_block=256, overprovision=0.25
+)
+
+AGED_OVERRIDES = {
+    "map_cache_pages": 8,
+    "endurance_cycles": 2000,
+    "static_wear_threshold": 200,
+}
+
+
+def _replay(config: TestbedConfig) -> dict:
+    testbed = Testbed(config)
+    testbed.add_worker(
+        FioSpec("w0", io_pages=1, queue_depth=32, read_ratio=0.7), region_pages=8192
+    )
+    probe = KernelProbe()
+    testbed.sim.probe = probe
+    start = time.perf_counter()
+    results = testbed.run(warmup_us=WARMUP_US, measure_us=MEASURE_US)
+    wall_s = time.perf_counter() - start
+    device = testbed.devices["ssd0"]
+    cache = device.ftl.map_cache
+    return {
+        "wall_seconds": round(wall_s, 3),
+        "kernel_events_per_wall_sec": round(probe.fired_total / wall_s),
+        "sim_us_per_wall_sec": round((WARMUP_US + MEASURE_US) / wall_s),
+        "simulated_iops": round(results["workers"][0]["iops"]),
+        "bandwidth_mbps": round(results["total_bandwidth_mbps"], 2),
+        "write_amplification": round(device.ftl.stats.write_amplification, 3),
+        "map_hit_rate": round(cache.hit_rate, 4) if cache is not None else 1.0,
+        "retired_blocks": device.ftl.retired_blocks,
+        "wl_migrations": device.ftl.stats.wl_migrations,
+    }
+
+
+def test_aged_fio_replay_report():
+    reference = _replay(
+        TestbedConfig(scheme="vanilla", condition="clean", geometry=GEOMETRY)
+    )
+    aged = _replay(
+        TestbedConfig(
+            scheme="vanilla",
+            condition="aged",
+            device_age=0.8,
+            geometry=GEOMETRY,
+            profile_overrides=AGED_OVERRIDES,
+        )
+    )
+    overhead = (
+        reference["sim_us_per_wall_sec"] / aged["sim_us_per_wall_sec"]
+        if aged["sim_us_per_wall_sec"]
+        else float("inf")
+    )
+    report = {
+        "suite": "aging",
+        "quick": QUICK,
+        "cpu_count": os.cpu_count(),
+        "measure_us": MEASURE_US,
+        "clean_reference": reference,
+        "aged_fidelity": aged,
+        "fidelity_overhead_ratio": round(overhead, 3),
+        "gate": "report-only",
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    # Sanity only (not a perf gate): the aged run must really have
+    # exercised the fidelity machinery it claims to measure.
+    assert aged["map_hit_rate"] < 1.0
+    assert aged["write_amplification"] > 1.0

@@ -9,6 +9,7 @@ with scaled-down durations; EXPERIMENTS.md records paper-vs-measured.
 
 from repro.harness.experiments import (  # noqa: F401
     ablations,
+    aging,
     ext_qlc,
     fig02_unloaded_latency,
     fig03_core_scaling,

@@ -35,10 +35,12 @@ from repro.fabric.smartnic import CpuCostModel
 from repro.nvme import Namespace
 from repro.obs import current_session
 from repro.sim import RngRegistry, Simulator
+from repro.core.write_cost import worst_case_write_cost
 from repro.ssd import (
     NullDevice,
     SsdDevice,
     SsdGeometry,
+    age_device,
     precondition_clean,
     precondition_fragmented,
     profile_by_name,
@@ -65,6 +67,13 @@ class TestbedConfig:
     cpu_model: CpuCostModel = SMARTNIC_CPU
     gimbal_params: Optional[GimbalParams] = None
     added_io_cost_us: float = 0.0
+    #: Device age for ``condition="aged"``: fraction of useful life
+    #: consumed, in [0, 1).
+    device_age: float = 0.5
+    #: Field overrides applied on top of the named device profile
+    #: (used by the aging study to switch on fidelity knobs such as
+    #: ``map_cache_pages`` or ``endurance_cycles`` per sweep point).
+    profile_overrides: Optional[dict] = None
     seed: int = 42
     #: Override the target-side scheduler construction (used by the
     #: ablation studies); the scheme still selects the client policy.
@@ -73,8 +82,10 @@ class TestbedConfig:
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {self.scheme!r}; pick one of {SCHEMES}")
-        if self.condition not in ("clean", "fragmented", "none"):
-            raise ValueError("condition must be 'clean', 'fragmented' or 'none'")
+        if self.condition not in ("clean", "fragmented", "aged", "none"):
+            raise ValueError("condition must be 'clean', 'fragmented', 'aged' or 'none'")
+        if not 0.0 <= self.device_age < 1.0:
+            raise ValueError("device_age must be in [0, 1)")
         if self.num_ssds <= 0:
             raise ValueError("need at least one SSD")
 
@@ -96,6 +107,9 @@ class Testbed:
         self.network = Network(self.sim)
         self.devices: Dict[str, object] = {}
         profile = profile_by_name(config.device_profile)
+        if config.profile_overrides:
+            profile = profile.with_overrides(**config.profile_overrides)
+        self._resolved_profile = profile
         for index in range(config.num_ssds):
             name = f"ssd{index}"
             if config.device_profile == "null":
@@ -108,6 +122,8 @@ class Testbed:
                     precondition_clean(device)
                 elif config.condition == "fragmented":
                     precondition_fragmented(device)
+                elif config.condition == "aged":
+                    age_device(device, age=config.device_age, seed=config.seed)
             self.devices[name] = device
         self.target = NvmeOfTarget(
             sim=self.sim,
@@ -141,6 +157,17 @@ class Testbed:
         scheme = self.config.scheme
         if scheme == "gimbal":
             params = self.config.gimbal_params
+            if params is None and self.config.condition == "aged":
+                # Aged devices have a worse worst case than the static
+                # config's fresh-device 9: derive it from the timing
+                # profile and aged geometry (Section 3.4's
+                # pre-calibration, re-run for the device's age).
+                worst = worst_case_write_cost(
+                    self._resolved_profile,
+                    self.config.geometry,
+                    age=self.config.device_age,
+                )
+                params = GimbalParams().with_overrides(write_cost_worst=worst)
             return lambda: GimbalScheduler(params)
         if scheme == "reflex":
             return ReflexScheduler

@@ -22,10 +22,16 @@ KIOPS tractable in pure Python.
 """
 
 from repro.ssd.commands import DeviceCommand, IoOp
-from repro.ssd.conditioning import precondition_clean, precondition_fragmented
+from repro.ssd.conditioning import (
+    age_device,
+    clear_conditioning_cache,
+    precondition_clean,
+    precondition_fragmented,
+)
 from repro.ssd.device import DeviceStats, NullDevice, SsdDevice
-from repro.ssd.ftl import Ftl, GcWork
+from repro.ssd.ftl import Ftl, FtlStats, GcWork, WearConfig, WearStats
 from repro.ssd.geometry import SsdGeometry
+from repro.ssd.mapping_cache import MappingCache
 from repro.ssd.profiles import (
     DCT983_PROFILE,
     NULL_PROFILE,
@@ -43,7 +49,11 @@ __all__ = [
     "NullDevice",
     "DeviceStats",
     "Ftl",
+    "FtlStats",
     "GcWork",
+    "WearConfig",
+    "WearStats",
+    "MappingCache",
     "SsdGeometry",
     "DeviceProfile",
     "DCT983_PROFILE",
@@ -54,4 +64,6 @@ __all__ = [
     "WriteBuffer",
     "precondition_clean",
     "precondition_fragmented",
+    "age_device",
+    "clear_conditioning_cache",
 ]

@@ -17,9 +17,12 @@ horizons.  That reproduces "multiple hours" of preconditioning in well
 under a second of wall-clock time.
 
 Because many experiments re-condition identical devices, the resulting
-FTL state is cached per (geometry, condition, parameters) and restored
-into fresh devices -- the mapping arrays are plain lists, so a restore
-is just a handful of list copies.
+FTL state is cached per (geometry, fidelity knobs, condition,
+parameters) and restored into fresh devices -- the mapping arrays are
+plain lists, so a restore is just a handful of list copies.  The
+fidelity knobs (mapping-cache capacity, wear configuration) are part
+of the key because conditioning genuinely diverges across them: cache
+residency, retirement and wear-level migrations all differ.
 """
 
 from __future__ import annotations
@@ -29,7 +32,6 @@ from typing import Dict, Tuple
 
 from repro.sim.rng import derive_seed
 from repro.ssd.device import SsdDevice
-from repro.ssd.geometry import SsdGeometry
 
 _snapshot_cache: Dict[Tuple, dict] = {}
 
@@ -39,8 +41,8 @@ def clear_conditioning_cache() -> None:
     _snapshot_cache.clear()
 
 
-def _cache_key(geometry: SsdGeometry, kind: str, *params) -> Tuple:
-    return (geometry, kind) + params
+def _cache_key(device: SsdDevice, kind: str, *params) -> Tuple:
+    return (device.geometry, device.ftl.fidelity_key(), kind) + params
 
 
 def precondition_clean(device: SsdDevice) -> None:
@@ -51,7 +53,7 @@ def precondition_clean(device: SsdDevice) -> None:
     victims are fully invalid and write amplification stays at ~1 --
     matching a device preconditioned with large sequential writes.
     """
-    key = _cache_key(device.geometry, "clean")
+    key = _cache_key(device, "clean")
     snap = _snapshot_cache.get(key)
     if snap is None:
         ftl = device.ftl
@@ -76,7 +78,7 @@ def precondition_fragmented(
     """
     if overwrite_factor < 0:
         raise ValueError("overwrite factor must be non-negative")
-    key = _cache_key(device.geometry, "fragmented", overwrite_factor, seed)
+    key = _cache_key(device, "fragmented", overwrite_factor, seed)
     snap = _snapshot_cache.get(key)
     if snap is None:
         ftl = device.ftl
@@ -93,11 +95,68 @@ def precondition_fragmented(
     _settle(device)
 
 
+def age_device(
+    device: SsdDevice,
+    age: float,
+    wear_skew: float = 0.25,
+    overwrite_factor: float = 2.0,
+    seed: int = 1,
+) -> None:
+    """Fast-forward a device to a target wear/fragmentation state.
+
+    ``age`` is the fraction of the device's useful life consumed, in
+    [0, 1): 0.0 is a fresh (but fragmented) device, 0.8 a device near
+    end of life.  Aging composes two effects:
+
+    * **fragmentation** -- the same random-overwrite conditioning as
+      :func:`precondition_fragmented` (an old device's blocks hold
+      scattered valid pages);
+    * **wear** -- per-block erase counts fast-forwarded to ``age *
+      0.9 * endurance`` on average (the 0.9 leaves headroom so the
+      aged device boots alive and retires blocks *during* the
+      subsequent run), with a lognormal-ish spread controlled by
+      ``wear_skew`` (real fleets never wear uniformly -- that skew is
+      what makes static wear levelling and retirement observable).
+
+    Without a configured endurance limit the wear target falls back to
+    ``age * 3000`` cycles (a typical TLC rating), so wear statistics
+    stay meaningful on profiles that never retire blocks.
+    """
+    if not 0.0 <= age < 1.0:
+        raise ValueError("age must be in [0, 1)")
+    if wear_skew < 0:
+        raise ValueError("wear_skew must be non-negative")
+    key = _cache_key(device, "aged", age, wear_skew, overwrite_factor, seed)
+    snap = _snapshot_cache.get(key)
+    ftl = device.ftl
+    if snap is None:
+        exported = device.geometry.exported_pages
+        for lpn in range(exported):
+            ftl.write_page(lpn)
+        rng = random.Random(derive_seed(seed, "precondition:aged"))
+        for _ in range(int(exported * overwrite_factor)):
+            ftl.write_page(rng.randrange(exported))
+        endurance = 3000
+        if ftl.wear is not None and ftl.wear.endurance_cycles is not None:
+            endurance = ftl.wear.endurance_cycles
+        mean_target = age * 0.9 * endurance
+        wear_rng = random.Random(derive_seed(seed, "precondition:wear"))
+        deltas = []
+        for _ in range(device.geometry.total_blocks):
+            factor = max(0.0, wear_rng.gauss(1.0, wear_skew))
+            deltas.append(int(mean_target * factor))
+        ftl.advance_wear(deltas)
+        snap = ftl.snapshot()
+        _snapshot_cache[key] = snap
+    else:
+        ftl.restore(snap)
+    _settle(device)
+
+
 def _settle(device: SsdDevice) -> None:
     """Reset timing and *measurement* state; keep the FTL layout."""
     device.reset_time_state()
     # Preconditioning traffic must not pollute the measured write
-    # amplification, so the FTL counters restart here too.
-    device.ftl.stats.host_programs = 0
-    device.ftl.stats.gc_programs = 0
-    device.ftl.stats.erases = 0
+    # amplification (or mapping-cache hit rates), so the FTL's
+    # measurement counters restart here too.
+    device.ftl.reset_measurement()

@@ -1,0 +1,102 @@
+"""Tests for the aging experiment driver (registration, determinism,
+rollup schema)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _resolve_experiment
+from repro.harness.experiments import aging
+from repro.harness.orchestrator import suite_experiments
+
+#: Tiny windows: enough traffic for non-degenerate rollups, small
+#: enough for tier-1 (two schemes x one age x two cache sizes).
+QUICK = dict(
+    schemes=("gimbal",),
+    ages=(0.8,),
+    cache_sizes=(None, 4),
+    skews=(0.6,),
+    warmup_us=20_000.0,
+    measure_us=40_000.0,
+)
+
+ROLLUP_FIELDS = (
+    "scheme",
+    "age",
+    "cache_pages",
+    "skew",
+    "total_bandwidth_mbps",
+    "read_p99_us",
+    "read_p99_inflation",
+    "map_hit_rate",
+    "map_misses",
+    "map_writebacks",
+    "write_amplification",
+    "wl_migrations",
+    "retired_blocks",
+    "wear_spread",
+    "wear_jain",
+    "write_cost_actual",
+    "write_cost_estimated",
+    "write_cost_error",
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return aging.run(cache=False, **QUICK)
+
+
+class TestRegistration:
+    def test_registered_in_cli(self):
+        assert "aging" in EXPERIMENTS
+        assert _resolve_experiment("aging") == "aging"
+        module_path, quick_kwargs = EXPERIMENTS["aging"]
+        assert module_path == "repro.harness.experiments.aging"
+        assert quick_kwargs["measure_us"] < aging.DEFAULT_MEASURE_US
+
+    def test_part_of_the_suite(self):
+        specs = suite_experiments(quick=True, names=["aging"])
+        assert [spec.name for spec in specs] == ["aging"]
+        assert any(spec.name == "aging" for spec in suite_experiments(quick=True))
+
+
+class TestRollups:
+    def test_every_row_has_the_full_schema(self, results):
+        assert results["figure"] == "aging"
+        rows = results["rows"]
+        assert len(rows) == 2  # one scheme x one age x two cache sizes
+        for row in rows:
+            for field in ROLLUP_FIELDS:
+                assert field in row, f"rollup missing {field}"
+
+    def test_small_cache_misses_and_inflates(self, results):
+        by_cache = {row["cache_pages"]: row for row in results["rows"]}
+        full, small = by_cache[None], by_cache[4]
+        assert full["map_hit_rate"] == 1.0
+        assert full["map_misses"] == 0
+        assert full["read_p99_inflation"] == 1.0
+        assert small["map_misses"] > 0
+        assert small["map_hit_rate"] < 1.0
+
+    def test_aged_device_shows_wear(self, results):
+        for row in results["rows"]:
+            assert row["wear_spread"] >= 0
+            assert row["retired_blocks"] >= 0
+            assert row["write_amplification"] >= 1.0
+            assert 0.0 < row["wear_jain"] <= 1.0
+
+    def test_gimbal_rows_carry_estimator_error(self, results):
+        for row in results["rows"]:
+            assert row["write_cost_estimated"] is not None
+            assert row["write_cost_actual"] > 0
+            assert row["write_cost_error"] is not None
+
+
+class TestDeterminism:
+    def test_serial_equals_parallel(self):
+        serial = aging.run(cache=False, jobs=1, **QUICK)
+        parallel = aging.run(cache=False, jobs=2, **QUICK)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)

@@ -1,0 +1,128 @@
+"""Conditioning-cache keying: distinct targets must never share state.
+
+The conditioning snapshot cache turns "multiple hours" of
+preconditioning into a dict lookup, which makes its *key* a
+correctness surface: if two different conditioning targets collide,
+one experiment silently runs on another experiment's device.  These
+tests pin the key down across every axis -- kind, parameters, seed,
+geometry, and the FTL fidelity knobs introduced with the DFTL cache
+and wear dynamics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+from repro.ssd import (
+    SsdDevice,
+    SsdGeometry,
+    age_device,
+    clear_conditioning_cache,
+    precondition_clean,
+    precondition_fragmented,
+    profile_by_name,
+)
+from repro.ssd.conditioning import _snapshot_cache
+
+GEOMETRY = SsdGeometry(
+    num_channels=2, blocks_per_channel=14, pages_per_block=32, overprovision=0.4
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_conditioning_cache()
+    yield
+    clear_conditioning_cache()
+
+
+def make_device(geometry=GEOMETRY, **overrides):
+    profile = profile_by_name("dct983")
+    if overrides:
+        profile = profile.with_overrides(**overrides)
+    return SsdDevice(Simulator(), profile=profile, geometry=geometry)
+
+
+class TestKeySeparation:
+    def test_kinds_never_collide(self):
+        precondition_clean(make_device())
+        precondition_fragmented(make_device())
+        age_device(make_device(), age=0.5)
+        assert len(_snapshot_cache) == 3
+
+    def test_aged_params_are_distinct_entries(self):
+        age_device(make_device(), age=0.2)
+        age_device(make_device(), age=0.8)
+        age_device(make_device(), age=0.8, wear_skew=0.5)
+        age_device(make_device(), age=0.8, seed=2)
+        age_device(make_device(), age=0.8, overwrite_factor=1.0)
+        assert len(_snapshot_cache) == 5
+
+    def test_fragmented_seed_and_factor_are_distinct(self):
+        precondition_fragmented(make_device(), seed=1)
+        precondition_fragmented(make_device(), seed=2)
+        precondition_fragmented(make_device(), overwrite_factor=1.0)
+        assert len(_snapshot_cache) == 3
+
+    def test_geometry_is_part_of_the_key(self):
+        other = SsdGeometry(
+            num_channels=2, blocks_per_channel=16, pages_per_block=32, overprovision=0.4
+        )
+        precondition_fragmented(make_device())
+        precondition_fragmented(make_device(geometry=other))
+        assert len(_snapshot_cache) == 2
+
+    def test_fidelity_knobs_are_part_of_the_key(self):
+        """A DFTL device and a reference device condition differently
+        (cache residency, wear state) -- they must not share snapshots."""
+        precondition_fragmented(make_device())
+        precondition_fragmented(make_device(map_cache_pages=2))
+        precondition_fragmented(make_device(map_cache_pages=4))
+        precondition_fragmented(make_device(endurance_cycles=50))
+        precondition_fragmented(
+            make_device(endurance_cycles=50, static_wear_threshold=10)
+        )
+        assert len(_snapshot_cache) == 5
+
+    def test_two_aged_devices_same_params_share_one_entry(self):
+        first = make_device()
+        age_device(first, age=0.5)
+        second = make_device()
+        age_device(second, age=0.5)
+        assert len(_snapshot_cache) == 1
+        assert second.ftl.page_map == first.ftl.page_map
+        assert second.ftl._erase_counts == first.ftl._erase_counts
+
+
+class TestRestoredStateIsIsolated:
+    def test_restore_does_not_alias_cached_snapshot(self):
+        """Mutating a restored device must not corrupt the cache entry
+        the next device will restore from."""
+        first = make_device()
+        age_device(first, age=0.5)
+        for lpn in range(64):
+            first.ftl.write_page(lpn)
+        second = make_device()
+        age_device(second, age=0.5)
+        assert second.ftl.page_map != first.ftl.page_map or first.ftl.stats != second.ftl.stats
+        second.ftl.check_invariants()
+
+    def test_warm_restore_matches_cold_conditioning(self):
+        cold = make_device(map_cache_pages=2)
+        age_device(cold, age=0.6)
+        warm = make_device(map_cache_pages=2)
+        age_device(warm, age=0.6)
+        assert warm.ftl.page_map == cold.ftl.page_map
+        assert warm.ftl._erase_counts == cold.ftl._erase_counts
+        assert warm.ftl.map_cache.snapshot() == cold.ftl.map_cache.snapshot()
+
+    def test_settle_resets_measurement_not_layout(self):
+        device = make_device(map_cache_pages=2, endurance_cycles=3000)
+        age_device(device, age=0.7)
+        ftl = device.ftl
+        assert ftl.stats.host_programs == 0  # conditioning traffic scrubbed
+        assert ftl.map_cache.misses == 0
+        assert ftl.mapped_pages > 0          # ...but the layout survived
+        assert ftl.wear_stats().mean_erases > 0
+        assert ftl.take_map_traffic() == (0, 0)

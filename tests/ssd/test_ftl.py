@@ -199,13 +199,32 @@ class TestSnapshotRestore:
         target.restore(snap)
         assert target.lookup(1) == -1
 
-    def test_restore_resets_stats(self, geometry):
+    def test_restore_round_trips_stats(self, geometry):
+        """Stats survive a snapshot/restore (they used to be dropped)."""
         source = Ftl(geometry)
         for lpn in range(geometry.exported_pages):
             source.write_page(lpn)
         target = Ftl(geometry)
         target.restore(source.snapshot())
+        assert target.stats == source.stats
+        # Measurement resets are explicit now, not a restore side effect.
+        target.reset_measurement()
         assert target.stats.host_programs == 0
+
+    def test_restore_tolerates_pre_fidelity_snapshots(self, geometry):
+        """Snapshots without the new keys restore with default state."""
+        source = Ftl(geometry)
+        for lpn in range(geometry.exported_pages):
+            source.write_page(lpn)
+        snap = source.snapshot()
+        for key in ("stats", "retired", "retired_blocks", "map_reads_pending",
+                    "map_writes_pending", "map_cache"):
+            snap.pop(key)
+        target = Ftl(geometry)
+        target.restore(snap)
+        assert target.stats.host_programs == 0
+        assert target.retired_blocks == 0
+        target.check_invariants()
 
 
 class TestPropertyBased:

@@ -1,0 +1,124 @@
+"""Unit tests for the DFTL translation-page cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssd.mapping_cache import (
+    DEFAULT_ENTRIES_PER_PAGE,
+    MAP_HIT,
+    MAP_MISS,
+    MAP_MISS_EVICT,
+    MAP_MISS_WRITEBACK,
+    MappingCache,
+)
+
+
+def make_cache(capacity=2, entries=8, per_page=4):
+    """Small cache: 8 entries over 2 translation pages of 4 each... by
+    default 2 translation pages resident out of ceil(8/4)=2 -- pass a
+    larger ``entries`` to make it contended."""
+    return MappingCache(entries, capacity_pages=capacity, entries_per_page=per_page)
+
+
+class TestConstruction:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            MappingCache(0)
+        with pytest.raises(ValueError):
+            MappingCache(8, entries_per_page=0)
+        with pytest.raises(ValueError):
+            MappingCache(8, capacity_pages=0)
+
+    def test_default_is_fully_resident(self):
+        cache = MappingCache(10_000)
+        assert cache.resident_table
+        assert cache.resident_pages == cache.total_pages == -(-10_000 // DEFAULT_ENTRIES_PER_PAGE)
+
+    def test_oversized_capacity_is_resident(self):
+        cache = MappingCache(16, capacity_pages=100, entries_per_page=4)
+        assert cache.resident_table
+        assert cache.resident_pages == 4
+
+    def test_translation_page_mapping(self):
+        cache = make_cache()
+        assert cache.translation_page_of(0) == 0
+        assert cache.translation_page_of(3) == 0
+        assert cache.translation_page_of(4) == 1
+
+
+class TestAccessOutcomes:
+    def test_cold_miss_then_hit(self):
+        cache = MappingCache(16, capacity_pages=2, entries_per_page=4)
+        assert cache.access(0, dirty=False) == MAP_MISS
+        assert cache.access(1, dirty=False) == MAP_HIT  # same translation page
+        assert (cache.misses, cache.hits) == (1, 1)
+
+    def test_clean_eviction(self):
+        cache = MappingCache(16, capacity_pages=2, entries_per_page=4)
+        cache.access(0, dirty=False)   # tpn 0
+        cache.access(4, dirty=False)   # tpn 1
+        assert cache.access(8, dirty=False) == MAP_MISS_EVICT  # evicts clean tpn 0
+        assert cache.writebacks == 0
+        assert cache.evictions == 1
+
+    def test_dirty_eviction_costs_writeback(self):
+        cache = MappingCache(16, capacity_pages=2, entries_per_page=4)
+        cache.access(0, dirty=True)    # tpn 0 dirty
+        cache.access(4, dirty=False)   # tpn 1
+        assert cache.access(8, dirty=False) == MAP_MISS_WRITEBACK
+        assert cache.writebacks == 1
+
+    def test_lru_order_reinserts_on_hit(self):
+        cache = MappingCache(16, capacity_pages=2, entries_per_page=4)
+        cache.access(0, dirty=False)   # tpn 0
+        cache.access(4, dirty=False)   # tpn 1
+        cache.access(0, dirty=False)   # hit, tpn 0 becomes MRU
+        cache.access(8, dirty=False)   # must evict tpn 1, not tpn 0
+        assert cache.access(0, dirty=False) == MAP_HIT
+        assert cache.access(4, dirty=False) != MAP_HIT
+
+    def test_hit_preserves_dirt(self):
+        cache = MappingCache(16, capacity_pages=2, entries_per_page=4)
+        cache.access(0, dirty=True)
+        cache.access(0, dirty=False)   # clean hit must not launder the dirt
+        cache.access(4, dirty=False)
+        assert cache.access(8, dirty=False) == MAP_MISS_WRITEBACK
+
+    def test_resident_table_never_misses(self):
+        cache = MappingCache(64, entries_per_page=4)  # fully resident
+        for lpn in range(64):
+            assert cache.access(lpn, dirty=True) == MAP_HIT
+        assert cache.misses == 0
+        assert cache.hit_rate == 1.0
+
+
+class TestBookkeeping:
+    def test_hit_rate_with_no_accesses(self):
+        assert make_cache().hit_rate == 1.0
+
+    def test_reset_counters_keeps_residency(self):
+        cache = MappingCache(16, capacity_pages=2, entries_per_page=4)
+        cache.access(0, dirty=True)
+        cache.reset_counters()
+        assert (cache.hits, cache.misses, cache.evictions, cache.writebacks) == (0, 0, 0, 0)
+        assert cache.access(0, dirty=False) == MAP_HIT  # still resident
+
+    def test_snapshot_round_trip(self):
+        cache = MappingCache(32, capacity_pages=3, entries_per_page=4)
+        for lpn in (0, 5, 9, 17, 2):
+            cache.access(lpn, dirty=lpn % 2 == 0)
+        snap = cache.snapshot()
+        clone = MappingCache(32, capacity_pages=3, entries_per_page=4)
+        clone.restore(snap)
+        assert clone.snapshot() == snap
+        # Same future behaviour, not just same counters.
+        assert clone.access(21, dirty=False) == cache.access(21, dirty=False)
+        assert clone.snapshot() == cache.snapshot()
+
+    def test_invariants_catch_overflow(self):
+        cache = MappingCache(16, capacity_pages=2, entries_per_page=4)
+        cache.check_invariants()
+        cache._resident = {0: False, 1: False, 2: False}
+        with pytest.raises(AssertionError):
+            cache.check_invariants()
