@@ -1,0 +1,233 @@
+"""Batch-backend throughput benchmark and regression gate.
+
+Times the numpy batch-advance backend (:mod:`repro.sim.batch`)
+against the pure-Python reference kernel on three event-population
+shapes, in the same process and interleaved best-of-N:
+
+* ``storm`` -- homogeneous completion storm: eight devices, each a
+  deep closed-loop FCFS queue registered as one **bulk** population.
+  This is the shape the backend exists for; the gate requires the
+  ISSUE's >=3x floor *and* no regression against the frozen ratio.
+* ``mixed`` -- one bulk device interleaved with plain heap timers:
+  array deliveries are repeatedly cut short at heap events.  Gate:
+  no regression (the batch backend must not lose on mixed work).
+* ``idle`` -- sparse, far-apart completions on mostly-empty devices:
+  exercises the small-backlog spill to the heap and the analytic idle
+  fast-forward.  Gate: no regression.
+
+Writes ``BENCH_batch.json`` at the repo root.  Ratios, not raw rates,
+are gated: a slower CI machine slows both backends alike.  Quick mode
+(``REPRO_PERF_QUICK=1``) shrinks the event counts for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+np = pytest.importorskip("numpy", reason="batch backend requires the [fast] extra")
+
+from repro.sim import Simulator
+from repro.sim.batch import BatchSimulator
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = Path(__file__).resolve().parent / "BASELINE.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_batch.json"
+
+QUICK = os.environ.get("REPRO_PERF_QUICK", "") not in ("", "0")
+ROUNDS = 3
+EVENTS = 60_000 if QUICK else 400_000
+#: Committed ratios are measured at the full event count; quick mode's
+#: shorter backlogs amortize the batch machinery less (storm drops
+#: from ~25x to ~19x at 60k events), so it gets a wider band.  The
+#: hard REQUIRED_SPEEDUP floors below are never widened.
+REGRESSION_TOLERANCE = 0.45 if QUICK else 0.30
+
+#: The ISSUE's machine-independent floors, gated in addition to the
+#: frozen-ratio regression check.
+REQUIRED_SPEEDUP = {"storm": 3.0, "mixed": 0.9, "idle": 0.85}
+
+
+# ----------------------------------------------------------------------
+# Scenarios.  Each takes a simulator (either backend) and an event
+# budget, does identical logical work on both, and returns the number
+# of completions fired.  Callbacks branch on delivery length so the
+# reference backend's per-event deliveries stay on a scalar fast path
+# (an honest producer would do the same).
+# ----------------------------------------------------------------------
+def _bulk_fcfs_device(sim, service_us, label):
+    """One closed-loop FCFS device as a bulk population.
+
+    Every delivered completion is resubmitted behind the device's FCFS
+    horizon: ``h_i = max(h_{i-1}, t_i) + service`` -- solved in closed
+    form for whole delivery batches with a prefix-max.
+    """
+    state = {"fired": 0, "horizon": 0.0}
+
+    def complete(times, slots):
+        k = len(times)
+        state["fired"] += k
+        if k == 1:
+            h = state["horizon"]
+            t = times[0]
+            h = (h if h > t else t) + service_us
+            state["horizon"] = h
+            pop.add(h, slots[0])
+            return
+        t = np.asarray(times)
+        idx = np.arange(1, k + 1, dtype=np.float64) * service_us
+        shifted = t - idx
+        shifted[0] = max(shifted[0], state["horizon"] - service_us)
+        horizons = np.maximum.accumulate(shifted) + idx
+        state["horizon"] = float(horizons[-1])
+        pop.add_many(horizons, slots)
+
+    pop = sim.population(complete, bulk=True, label=label)
+    return pop, state
+
+
+def scenario_storm(sim, n_events: int) -> int:
+    """Eight deep closed-loop devices, nothing but bulk completions."""
+    devices = 8
+    outstanding = 4096
+    service_us = 2.0
+    total = 0
+    states = []
+    for d in range(devices):
+        pop, state = _bulk_fcfs_device(sim, service_us, f"dev{d}")
+        k = outstanding
+        horizons = np.arange(1, k + 1, dtype=np.float64) * service_us + d * 1e-3
+        state["horizon"] = float(horizons[-1])
+        pop.add_many(horizons, np.arange(k))
+        states.append(state)
+    sim.run(max_events=n_events)
+    for state in states:
+        total += state["fired"]
+    return total
+
+
+def scenario_mixed(sim, n_events: int) -> int:
+    """One bulk device against periodic heap timers.
+
+    The timers slice every array delivery: the backend must win (or at
+    least not lose) even when regions are tens of events long.
+    """
+    outstanding = 4096
+    service_us = 2.0
+    pop, state = _bulk_fcfs_device(sim, service_us, "dev")
+    horizons = np.arange(1, outstanding + 1, dtype=np.float64) * service_us
+    state["horizon"] = float(horizons[-1])
+    pop.add_many(horizons, np.arange(outstanding))
+
+    ticks = {"fired": 0}
+
+    def tick(period):
+        ticks["fired"] += 1
+        sim.schedule(period, tick, period)
+
+    for index in range(64):
+        sim.schedule(0.1 + index * 0.01, tick, 50.0 + index * 0.3)
+    sim.run(max_events=n_events)
+    return state["fired"] + ticks["fired"]
+
+
+def scenario_idle(sim, n_events: int) -> int:
+    """Sparse completions on mostly-idle devices.
+
+    The backlog never reaches the bulk threshold, so the batch backend
+    must spill to the heap and track the reference kernel instead of
+    grand-sorting per handful of events.
+    """
+    devices = 4
+    outstanding = 8
+    service_us = 100.0
+    total = 0
+    states = []
+    for d in range(devices):
+        pop, state = _bulk_fcfs_device(sim, service_us, f"idle{d}")
+        k = outstanding
+        horizons = np.arange(1, k + 1, dtype=np.float64) * service_us + d * 0.25
+        state["horizon"] = float(horizons[-1])
+        pop.add_many(horizons, np.arange(k))
+        states.append(state)
+    sim.run(max_events=n_events)
+    for state in states:
+        total += state["fired"]
+    return total
+
+
+SCENARIOS = {
+    "storm": scenario_storm,
+    "mixed": scenario_mixed,
+    "idle": scenario_idle,
+}
+
+
+def _best_rate(make_sim, scenario, n_events: int) -> float:
+    sim = make_sim()
+    start = time.perf_counter()
+    fired = scenario(sim, n_events)
+    elapsed = time.perf_counter() - start
+    return fired / elapsed
+
+
+def measure() -> dict:
+    results = {}
+    for name, scenario in SCENARIOS.items():
+        budget = EVENTS if name != "idle" else EVENTS // 4
+        reference_best = 0.0
+        batch_best = 0.0
+        # Interleave round by round so machine noise hits both equally.
+        for _ in range(ROUNDS):
+            reference_best = max(
+                reference_best, _best_rate(Simulator, scenario, budget)
+            )
+            batch_best = max(batch_best, _best_rate(BatchSimulator, scenario, budget))
+        results[name] = {
+            "reference_events_per_sec": round(reference_best),
+            "batch_events_per_sec": round(batch_best),
+            "speedup": round(batch_best / reference_best, 3),
+        }
+    return results
+
+
+def test_batch_backend_throughput():
+    # Both backends must do identical logical work.
+    for name, scenario in SCENARIOS.items():
+        assert scenario(Simulator(), 20_000) == scenario(
+            BatchSimulator(), 20_000
+        ), f"scenario {name} diverged between backends"
+
+    scenarios = measure()
+    report = {
+        "suite": "batch",
+        "quick": QUICK,
+        "events_per_scenario": EVENTS,
+        "rounds": ROUNDS,
+        "required_speedups": REQUIRED_SPEEDUP,
+        "scenarios": scenarios,
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print()
+    print(json.dumps(report, indent=2))
+
+    committed = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    references = committed["batch"]["scenario_speedups"]
+    failures = []
+    for name, reference in references.items():
+        measured = scenarios[name]["speedup"]
+        required = REQUIRED_SPEEDUP[name]
+        floor = max(required, reference * (1.0 - REGRESSION_TOLERANCE))
+        if measured < floor:
+            failures.append(
+                f"{name}: measured {measured:.2f}x vs floor {floor:.2f}x "
+                f"(required {required:.2f}x, committed {reference:.2f}x)"
+            )
+    assert not failures, (
+        "batch backend speedup below floor; see BENCH_batch.json\n  "
+        + "\n  ".join(failures)
+    )

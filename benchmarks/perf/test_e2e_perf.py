@@ -35,6 +35,7 @@ import time
 from pathlib import Path
 
 import baseline_kernel
+import pytest
 from test_kernel_perf import scenario_chain
 
 from repro.harness.experiments import fig04_interference as fig04
@@ -152,7 +153,8 @@ def test_fig04_interference_wall_clock():
     serial_s = time.perf_counter() - start
 
     jobs_requested = 4
-    jobs_effective = min(jobs_requested, os.cpu_count() or 1)
+    cpu_count = os.cpu_count() or 1
+    jobs_effective = min(jobs_requested, cpu_count)
     start = time.perf_counter()
     parallel = fig04.run(measure_us=FIG04_MEASURE_US, jobs=jobs_requested)
     parallel_s = time.perf_counter() - start
@@ -169,8 +171,9 @@ def test_fig04_interference_wall_clock():
         "speedup_gate": (
             f"enforced: >= {FIG04_REQUIRED_SPEEDUP * SPEEDUP_TOLERANCE:.2f}x"
             if gated
-            else "skipped: jobs clamped to 1 on this machine -- a per-sweep "
-            "pool of one worker measures only fan-out overhead"
+            else f"skipped: os.cpu_count()={cpu_count} clamps jobs to 1 on "
+            "this machine -- a per-sweep pool of one worker measures only "
+            "fan-out overhead"
         ),
     }
     _flush_report()
@@ -179,11 +182,13 @@ def test_fig04_interference_wall_clock():
     assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)
 
     if not gated:
-        print(
+        # The same reason lands in the JSON artifact above and in the
+        # pytest summary, so CI runs on small runners are
+        # self-explaining in both places.
+        pytest.skip(
             f"fig04 speedup gate skipped ({_report['fig04']['speedup_gate']}); "
             f"measured {speedup:.3f}x"
         )
-        return
     required = FIG04_REQUIRED_SPEEDUP * SPEEDUP_TOLERANCE
     assert speedup >= required, (
         f"fig04 jobs={jobs_effective} speedup is {speedup:.2f}x, below the "

@@ -6,10 +6,12 @@ event-pattern scenarios, in the same process and interleaved
 best-of-N, then:
 
 * writes ``BENCH_kernel.json`` at the repo root with both rates and
-  the speedup ratio per scenario (the ``chain`` scenario is the
-  headline number);
-* fails if the headline speedup regressed more than 30% below the
-  committed reference in ``benchmarks/perf/BASELINE.json``.
+  the speedup ratio per scenario (the ``chain`` scenario is still the
+  headline number reported for dashboards);
+* fails if *any* scenario's speedup regressed more than 30% below its
+  committed reference in ``benchmarks/perf/BASELINE.json`` -- each
+  scenario is an individual gate entry, so a regression in e.g. the
+  drain path can no longer hide behind a healthy headline.
 
 Ratios, not raw rates, are gated: a slower CI machine slows both
 kernels alike, so the ratio is machine-independent.
@@ -35,7 +37,10 @@ OUTPUT_PATH = REPO_ROOT / "BENCH_kernel.json"
 QUICK = os.environ.get("REPRO_PERF_QUICK", "") not in ("", "0")
 ROUNDS = 3 if QUICK else 5
 EVENTS = 60_000 if QUICK else 400_000
-REGRESSION_TOLERANCE = 0.30
+#: Committed ratios are measured at the full event count; quick mode's
+#: shorter runs amortize per-run setup less and shrink the drain
+#: scenario's sort advantage, so it gets a wider band.
+REGRESSION_TOLERANCE = 0.45 if QUICK else 0.30
 
 
 # ----------------------------------------------------------------------
@@ -162,11 +167,19 @@ def test_kernel_throughput():
             Simulator(), 10_000
         ), f"scenario {name} diverged between kernels"
 
-    # Regression gate against the committed reference ratio.
+    # Regression gate: every scenario against its own committed ratio.
     committed = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
-    reference = committed["kernel"]["headline_speedup"]
-    floor = reference * (1.0 - REGRESSION_TOLERANCE)
-    assert headline >= floor, (
-        f"kernel speedup regressed: measured {headline:.2f}x vs committed "
-        f"{reference:.2f}x (floor {floor:.2f}x); see BENCH_kernel.json"
+    references = committed["kernel"]["scenario_speedups"]
+    failures = []
+    for name, reference in references.items():
+        measured = scenarios[name]["speedup"]
+        floor = reference * (1.0 - REGRESSION_TOLERANCE)
+        if measured < floor:
+            failures.append(
+                f"{name}: measured {measured:.2f}x vs committed "
+                f"{reference:.2f}x (floor {floor:.2f}x)"
+            )
+    assert not failures, (
+        "kernel speedup regressed; see BENCH_kernel.json\n  "
+        + "\n  ".join(failures)
     )

@@ -23,8 +23,30 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, Optional, Tuple
+
+from repro.sim.engine import KERNEL_BACKEND_ENV, KERNEL_BACKENDS
+
+
+def _add_kernel_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel-backend",
+        choices=KERNEL_BACKENDS,
+        default=None,
+        help="event-kernel backend: 'reference' (pure Python, default) or "
+        "'batch' (numpy batch-advance; requires the [fast] extra)",
+    )
+
+
+def _apply_kernel_backend(args: argparse.Namespace) -> None:
+    """Propagate ``--kernel-backend`` through the environment so every
+    ``make_simulator()`` -- including ones in suite worker processes --
+    picks the same backend."""
+    backend = getattr(args, "kernel_backend", None)
+    if backend is not None:
+        os.environ[KERNEL_BACKEND_ENV] = backend
 
 #: experiment name -> (module path, quick-mode kwargs).
 EXPERIMENTS: Dict[str, Tuple[str, dict]] = {
@@ -96,6 +118,7 @@ def _cache_from_args(args: argparse.Namespace):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    _apply_kernel_backend(args)
     import inspect
 
     name = _resolve_experiment(args.experiment)
@@ -168,6 +191,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_suite(args: argparse.Namespace) -> int:
     """``repro suite`` -- regenerate the whole evaluation in one go."""
+    _apply_kernel_backend(args)
     import json
     import time
 
@@ -307,6 +331,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     the top functions by the chosen sort key.  ``--output`` dumps the
     raw stats for ``snakeviz``/``pstats`` post-processing.
     """
+    _apply_kernel_backend(args)
     import cProfile
     import pstats
 
@@ -335,10 +360,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 def cmd_calibrate(args: argparse.Namespace) -> int:
     """Measure the device anchors the profiles are calibrated against."""
+    _apply_kernel_backend(args)
     import random
 
     from repro.harness.report import format_table
-    from repro.sim import Simulator
+    from repro.sim import make_simulator
     from repro.ssd import (
         DeviceCommand,
         IoOp,
@@ -349,7 +375,7 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     )
 
     def closed_loop(condition, queue_depth, op, npages, sequential=False):
-        sim = Simulator()
+        sim = make_simulator()
         device = SsdDevice(sim, profile=profile_by_name(args.profile))
         if condition == "clean":
             precondition_clean(device)
@@ -405,6 +431,7 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    _apply_kernel_backend(args)
     from repro.harness import Testbed, TestbedConfig
     from repro.harness.report import format_table
     from repro.workloads import FioSpec
@@ -500,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache directory (default .repro-cache; implies --cache)",
     )
+    _add_kernel_backend_arg(run_parser)
     run_parser.set_defaults(fn=cmd_run)
 
     suite_parser = sub.add_parser(
@@ -556,6 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache directory (default .repro-cache; implies --cache)",
     )
+    _add_kernel_backend_arg(suite_parser)
     suite_parser.set_defaults(fn=cmd_suite)
 
     profile_parser = sub.add_parser(
@@ -585,11 +614,13 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument(
         "--quiet", action="store_true", help="suppress the experiment's own summary"
     )
+    _add_kernel_backend_arg(profile_parser)
     profile_parser.set_defaults(fn=cmd_profile)
 
     calibrate_parser = sub.add_parser("calibrate", help="measure device anchor numbers")
     calibrate_parser.add_argument("--profile", default="dct983", choices=["dct983", "p3600"])
     calibrate_parser.add_argument("--duration-ms", type=float, default=500.0)
+    _add_kernel_backend_arg(calibrate_parser)
     calibrate_parser.set_defaults(fn=cmd_calibrate)
 
     simulate_parser = sub.add_parser("simulate", help="ad-hoc multi-tenant run")
@@ -601,6 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--queue-depth", type=int, default=32)
     simulate_parser.add_argument("--seconds", type=float, default=1.0)
     simulate_parser.add_argument("--seed", type=int, default=42)
+    _add_kernel_backend_arg(simulate_parser)
     simulate_parser.set_defaults(fn=cmd_simulate)
 
     cache_parser = sub.add_parser("cache", help="inspect or manage the sweep result cache")

@@ -56,6 +56,11 @@ class Network:
         self.propagation_us = propagation_us
         self.per_message_us = per_message_us
         self._ports: dict[str, NetworkPort] = {}
+        # Wire deliveries are homogeneous timed events; registering
+        # them as a population lets the batch backend advance them in
+        # bulk.  The trampoline keeps the population's callback fixed
+        # while each delivery carries its own target function.
+        self._deliver_pop = sim.population(self._run_delivery, label="net.deliver")
 
     def port(self, name: str) -> NetworkPort:
         """Return (creating on first use) the port for host ``name``."""
@@ -85,8 +90,11 @@ class Network:
         src.bytes_sent += nbytes
         src.messages_sent += 1
         arrival = tx_done + self.propagation_us
-        self.sim.at_(arrival, deliver, *args)
+        self._deliver_pop.add(arrival, deliver, args)
         return arrival
+
+    def _run_delivery(self, deliver: Callable[..., Any], args: tuple) -> None:
+        deliver(*args)
 
     def register_metrics(self, registry, prefix: str = "net") -> None:
         """Expose per-port link counters for every port created so far."""

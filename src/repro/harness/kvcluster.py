@@ -45,7 +45,7 @@ from repro.kv import (
     RemoteBackend,
     YcsbRunner,
 )
-from repro.sim import RngRegistry, Simulator
+from repro.sim import RngRegistry, make_simulator
 from repro.ssd import SsdDevice, SsdGeometry, precondition_clean, precondition_fragmented
 from repro.workloads.patterns import AddressRegion
 from repro.workloads.population import TenantSpec
@@ -112,7 +112,7 @@ class KvCluster:
 
     def __init__(self, config: KvClusterConfig):
         self.config = config
-        self.sim = Simulator()
+        self.sim = make_simulator()
         self.rngs = RngRegistry(config.seed)
         self.network = Network(self.sim)
         self.targets: List[NvmeOfTarget] = []

@@ -34,7 +34,7 @@ from repro.fabric import (
 from repro.fabric.smartnic import CpuCostModel
 from repro.nvme import Namespace
 from repro.obs import current_session
-from repro.sim import RngRegistry, Simulator
+from repro.sim import RngRegistry, make_simulator
 from repro.core.write_cost import worst_case_write_cost
 from repro.ssd import (
     NullDevice,
@@ -97,7 +97,7 @@ class Testbed:
 
     def __init__(self, config: TestbedConfig):
         self.config = config
-        self.sim = Simulator()
+        self.sim = make_simulator()
         # Experiment drivers build testbeds internally, so observability
         # arrives ambiently: the Simulator constructor already hooked
         # itself to the active ``repro.obs.capture()`` session (if any);

@@ -7,7 +7,16 @@ generator-based processes, and a registry of named, seeded random
 number streams so that every run is reproducible.
 """
 
-from repro.sim.engine import Event, Process, SimulationError, Simulator, all_of, any_of
+from repro.sim.engine import (
+    KERNEL_BACKENDS,
+    Event,
+    Process,
+    SimulationError,
+    Simulator,
+    all_of,
+    any_of,
+    make_simulator,
+)
 from repro.sim.rng import RngRegistry
 from repro.sim.units import GB, GBPS, KB, MB, MBPS, MS, SEC, US, bytes_per_us, mbps
 
@@ -18,6 +27,8 @@ __all__ = [
     "Simulator",
     "all_of",
     "any_of",
+    "make_simulator",
+    "KERNEL_BACKENDS",
     "RngRegistry",
     "KB",
     "MB",

@@ -28,15 +28,26 @@ half the heap is dead the heap is compacted in place.
 
 from __future__ import annotations
 
+import os
 from heapq import heapify, heappop, heappush
+from operator import itemgetter
 from sys import getrefcount
 from typing import Any, Callable, Generator, Optional
+
+#: Sort keys for the batch-sorted drain: single homogeneous keys let
+#: timsort use its specialized float/int compares.
+_KEY_TIME = itemgetter(0)
+_KEY_SEQ = itemgetter(1)
 
 #: Upper bound on recycled Event handles kept around between fires.
 _FREE_LIST_CAP = 8192
 #: Lazy deletion is compacted away once at least this many cancelled
 #: entries linger in the heap *and* they outnumber the live ones.
 _COMPACT_MIN_DEAD = 512
+#: A full drain (``run()`` with no deadline) of a heap at least this
+#: deep takes the batch-sorted path: one ``sorted()`` pass replaces the
+#: per-event sift-down, which dominates deep drains.
+_SORT_DRAIN_MIN = 4096
 
 _INF = float("inf")
 
@@ -271,6 +282,97 @@ class Process:
             raise SimulationError(f"Process yielded unsupported value: {yielded!r}")
 
 
+class _HeapPopulation:
+    """Reference-backend completion population (see :meth:`Simulator.population`).
+
+    ``add`` is exactly :meth:`Simulator.at_` minus one attribute hop:
+    the population pre-binds its callback, so hot producers pay the
+    same per-event cost as today's ``sim.at_(t, fn, *args)`` while
+    declaring their homogeneity to backends that can exploit it.
+    Population entries cannot be cancelled (same contract as ``at_``).
+    """
+
+    __slots__ = ("_sim", "fn", "label")
+
+    def __init__(self, sim: "Simulator", fn: Callable[..., Any], label: Optional[str]):
+        self._sim = sim
+        self.fn = fn
+        self.label = label
+
+    def add(self, time_us: float, *args: Any) -> None:
+        """Register one pending completion of this population."""
+        sim = self._sim
+        if time_us < sim.now:
+            raise SimulationError(f"Cannot add at t={time_us} before now={sim.now}")
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, [time_us, seq, self.fn, args, None])
+        sim._live += 1
+        probe = sim.probe
+        if probe is not None and len(sim._heap) > probe.heap_high_water:
+            probe.heap_high_water = len(sim._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_HeapPopulation({self.label or self.fn!r})"
+
+
+class _HeapBulkPopulation:
+    """Reference-backend bulk population (see :meth:`Simulator.population`).
+
+    The bulk contract delivers ``fn(times, payloads)`` for a batch of
+    completions; the heap backend can only honour it one entry at a
+    time, so each entry fires as a length-1 delivery.  ``floor`` is the
+    time of the last delivered completion -- the FCFS contract requires
+    every completion registered by ``fn`` to land at or after it.
+    """
+
+    __slots__ = ("_sim", "fn", "label", "floor")
+
+    def __init__(self, sim: "Simulator", fn: Callable[..., Any], label: Optional[str]):
+        self._sim = sim
+        self.fn = fn
+        self.label = label
+        self.floor = 0.0
+
+    def add(self, time_us: float, payload: Any) -> None:
+        """Register a single pending completion."""
+        self.add_many((time_us,), (payload,))
+
+    def add_many(self, times, payloads) -> None:
+        """Register a batch of pending completions.
+
+        ``times`` and ``payloads`` are parallel sequences; entries need
+        not be sorted, but every time must be at or after :attr:`floor`.
+        """
+        sim = self._sim
+        times = times.tolist() if hasattr(times, "tolist") else times
+        if len(times) != len(payloads):
+            raise SimulationError("add_many: times and payloads lengths differ")
+        floor = self.floor
+        heap = sim._heap
+        fire = self._fire_one
+        seq = sim._seq
+        count = 0
+        for time_us, payload in zip(times, payloads):
+            time_us = float(time_us)
+            if time_us < floor:
+                raise SimulationError(
+                    f"bulk population {self.label or self.fn!r}: completion at "
+                    f"t={time_us} below floor {floor} (FCFS contract)"
+                )
+            seq += 1
+            heappush(heap, [time_us, seq, fire, (time_us, payload), None])
+            count += 1
+        sim._seq = seq
+        sim._live += count
+
+    def _fire_one(self, time_us: float, payload: Any) -> None:
+        self.floor = time_us
+        self.fn((time_us,), (payload,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_HeapBulkPopulation({self.label or self.fn!r})"
+
+
 class Simulator:
     """The event loop: a clock plus a heap of pending events."""
 
@@ -387,6 +489,36 @@ class Simulator:
         if probe is not None and len(self._heap) > probe.heap_high_water:
             probe.heap_high_water = len(self._heap)
 
+    def population(
+        self, fn: Callable[..., Any], *, bulk: bool = False, label: Optional[str] = None
+    ):
+        """Register a homogeneous completion population.
+
+        A population is a producer that schedules many never-cancelled
+        completions of one callback -- NAND page completions, link
+        wire-delay deliveries, closed-loop session resubmits.  Declaring
+        them through this API instead of ``at_`` lets backends advance
+        the whole population in bulk; on this reference backend it is a
+        zero-cost alias for the heap path, with identical firing order.
+
+        * ``bulk=False`` (default): returns an object with
+          ``add(time_us, *args)``; each entry fires ``fn(*args)`` in
+          exact ``(time, seq)`` order interleaved with the heap.
+        * ``bulk=True``: returns an object with
+          ``add_many(times, payloads)`` and scalar ``add``; the kernel
+          delivers ``fn(times, payloads)`` for batches of consecutive
+          completions.  Producers must honour the FCFS floor contract:
+          completions registered during a delivery land at or after the
+          population's ``floor`` (the last delivered time), and
+          deliveries of *different* populations inside one batch window
+          are unordered with respect to each other.  Use ``bulk`` only
+          for producers whose per-entry effects are independent across
+          populations (independent devices, links, sessions).
+        """
+        if bulk:
+            return _HeapBulkPopulation(self, fn, label)
+        return _HeapPopulation(self, fn, label)
+
     def process(self, gen: Generator[Any, Any, Any]) -> Process:
         """Start a generator-based process (see module docstring)."""
         return Process(self, gen)
@@ -496,6 +628,11 @@ class Simulator:
     def _drain_fast(self, until_us: Optional[float]) -> None:
         """The hot loop: no probe, no event cap, locals bound."""
         heap = self._heap
+        if until_us is None and len(heap) - self._dead >= _SORT_DRAIN_MIN:
+            # Full drain of a deep backlog: one sorted() pass replaces
+            # ~log2(n) sift-down comparisons per pop.
+            self._drain_sorted()
+            return
         free = self._free
         refcount = getrefcount
         until = _INF if until_us is None else until_us
@@ -523,6 +660,88 @@ class Simulator:
             # a held handle can never alias a later event.
             if refcount(event) == 3 and len(free) < _FREE_LIST_CAP:
                 free.append(event)
+
+    def _drain_sorted(self) -> None:
+        """Drain a deep heap to empty by sorting it into a flat run.
+
+        ``heappop`` on an n-deep heap costs ~log2(n) C-level list
+        comparisons per event; for a full drain, one timsort over the
+        same entries is much cheaper, and the run is then streamed with
+        plain indexing.  Events scheduled by callbacks land on the (now
+        shallow) heap and are merged back per event with an exact
+        ``(time, seq)`` list comparison, so firing order is identical
+        to the heap path.  If callbacks refill the heap past the
+        threshold, the next outer iteration sorts again.
+        """
+        heap = self._heap
+        free = self._free
+        refcount = getrefcount
+        while len(heap) >= _SORT_DRAIN_MIN:
+            # Two stable single-key passes instead of one lexicographic
+            # list-compare sort: homogeneous int/float keys hit
+            # timsort's specialized unsafe compares (~6x faster than
+            # comparing the entry lists), and stability makes the
+            # seq-then-time pair exactly equivalent to (time, seq).
+            run = list(heap)
+            run.sort(key=_KEY_SEQ)
+            run.sort(key=_KEY_TIME)
+            # In place: cancel() inside a callback may trigger
+            # _compact(), which mutates self._heap -- it must see the
+            # (emptied) live heap, not the detached run.
+            heap[:] = []
+            index = 0
+            count = len(run)
+            while index < count:
+                entry = run[index]
+                fn = entry[2]
+                if fn is None:
+                    # A _compact() mid-run resets _dead but only purges
+                    # self._heap; dead entries in the detached run must
+                    # not drive the counter negative.
+                    if self._dead > 0:
+                        self._dead -= 1
+                    index += 1
+                    continue
+                # Newly scheduled events that precede this run entry
+                # (seq is unique, so the list compare never reaches fn).
+                while heap and heap[0] < entry:
+                    hentry = heappop(heap)
+                    hfn = hentry[2]
+                    if hfn is None:
+                        if self._dead > 0:
+                            self._dead -= 1
+                        continue
+                    hargs = hentry[3]
+                    hentry[2] = None
+                    hentry[3] = None
+                    self._live -= 1
+                    self.now = hentry[0]
+                    hfn(*hargs)
+                    hevent = hentry[4]
+                    if (
+                        hevent is not None
+                        and refcount(hevent) == 3
+                        and len(free) < _FREE_LIST_CAP
+                    ):
+                        free.append(hevent)
+                args = entry[3]
+                entry[2] = None
+                entry[3] = None
+                self._live -= 1
+                self.now = entry[0]
+                fn(*args)
+                event = entry[4]
+                if (
+                    event is not None
+                    and refcount(event) == 3
+                    and len(free) < _FREE_LIST_CAP
+                ):
+                    free.append(event)
+                index += 1
+        if heap:
+            # Small residue: the regular loop (the dispatch check in
+            # _drain_fast now fails, so this cannot recurse).
+            self._drain_fast(None)
 
     def _drain_counted(self, until_us: Optional[float], max_events: int) -> None:
         """Like :meth:`_drain_fast` but stops after ``max_events`` fires."""
@@ -572,3 +791,35 @@ class Simulator:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now:.3f}us, pending={self.pending})"
+
+
+#: Selectable event-kernel backends (see :func:`make_simulator`).
+KERNEL_BACKENDS = ("reference", "batch")
+
+#: Environment variable consulted when no explicit backend is passed.
+#: Set by the ``--kernel-backend`` CLI/benchmark flags; read here (not
+#: at import time) so worker processes inherit the choice.
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+
+def make_simulator(backend: Optional[str] = None) -> Simulator:
+    """Build a simulator for the selected kernel backend.
+
+    ``backend`` may be ``"reference"`` (the pure-Python heap kernel,
+    the default) or ``"batch"`` (the numpy batch-advance kernel in
+    :mod:`repro.sim.batch`).  When None, the ``REPRO_KERNEL_BACKEND``
+    environment variable decides, defaulting to the reference kernel,
+    so one process-wide switch flips every harness and experiment
+    driver without threading a parameter through their signatures.
+    """
+    if backend is None:
+        backend = os.environ.get(KERNEL_BACKEND_ENV, "") or "reference"
+    if backend == "reference":
+        return Simulator()
+    if backend == "batch":
+        from repro.sim.batch import BatchSimulator
+
+        return BatchSimulator()
+    raise SimulationError(
+        f"Unknown kernel backend {backend!r}; expected one of {KERNEL_BACKENDS}"
+    )

@@ -69,6 +69,11 @@ class SsdDevice:
         self.profile = profile
         self.geometry = geometry or SsdGeometry()
         self.name = name
+        # Command completions are homogeneous timed events: register
+        # them as a kernel population so the batch backend can advance
+        # them in bulk (the reference backend serves the same API from
+        # its heap, byte-identically).
+        self._complete_pop = sim.population(self._complete, label=f"{name}.complete")
         # Optional fidelity layers, both off unless the profile asks:
         # a DFTL mapping cache (translation-page traffic) and wear
         # dynamics (endurance retirement + static wear levelling).
@@ -176,7 +181,7 @@ class SsdDevice:
                     fg_horizon[channel] = page_done
                     done = page_done + profile.t_sense_us
                 cmd.complete_time = done
-                self.sim.at_(done, self._complete, cmd, on_complete)
+                self._complete_pop.add(done, cmd, on_complete)
             else:
                 self._book_read(cmd, on_complete, ctrl_done)
         elif op is IoOp.TRIM:
@@ -494,7 +499,7 @@ class SsdDevice:
     # ------------------------------------------------------------------
     def _finalize(self, cmd: DeviceCommand, on_complete: CompletionCallback, done: float) -> None:
         cmd.complete_time = done
-        self.sim.at_(done, self._complete, cmd, on_complete)
+        self._complete_pop.add(done, cmd, on_complete)
 
     def _complete(self, cmd: DeviceCommand, on_complete: CompletionCallback) -> None:
         self.outstanding -= 1

@@ -1,0 +1,294 @@
+"""Unit tests for the batch-advance backend and the population API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SimulationError, Simulator, make_simulator
+from repro.sim.engine import KERNEL_BACKEND_ENV
+
+np = pytest.importorskip("numpy", reason="batch backend requires numpy")
+
+from repro.sim.batch import (  # noqa: E402 - after importorskip
+    _MIN_BULK_SEGMENT,
+    _WINDOW,
+    BatchSimulator,
+)
+
+
+# ----------------------------------------------------------------------
+# Factory / backend selection
+# ----------------------------------------------------------------------
+class TestMakeSimulator:
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        assert type(make_simulator()) is Simulator
+
+    def test_explicit_batch(self):
+        assert isinstance(make_simulator("batch"), BatchSimulator)
+
+    def test_env_selects_batch(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "batch")
+        assert isinstance(make_simulator(), BatchSimulator)
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "batch")
+        assert type(make_simulator("reference")) is Simulator
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError, match="reference"):
+            make_simulator("turbo")
+
+
+# ----------------------------------------------------------------------
+# Reference-backend population (heap-backed)
+# ----------------------------------------------------------------------
+class TestReferencePopulation:
+    def test_orders_with_heap_events(self):
+        sim = Simulator()
+        log = []
+        pop = sim.population(lambda tag: log.append(("pop", sim.now, tag)))
+        pop.add(2.0, "a")
+        sim.at(1.0, lambda: log.append(("at", sim.now)))
+        pop.add(1.0, "tie")  # later seq than the at(): fires second
+        sim.run()
+        assert log == [("at", 1.0), ("pop", 1.0, "tie"), ("pop", 2.0, "a")]
+
+    def test_past_add_rejected(self):
+        sim = Simulator()
+        pop = sim.population(lambda: None)
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            pop.add(4.0)
+
+    def test_bulk_population_delivers_singly(self):
+        sim = Simulator()
+        log = []
+        pop = sim.population(
+            lambda times, payloads: log.append((tuple(times), tuple(payloads))),
+            bulk=True,
+        )
+        pop.add_many((3.0, 1.0), ("b", "a"))
+        sim.run()
+        assert log == [((1.0,), ("a",)), ((3.0,), ("b",))]
+
+    def test_bulk_floor_contract_enforced(self):
+        sim = Simulator()
+        pop = sim.population(lambda times, payloads: None, bulk=True)
+        pop.add_many((5.0,), ("x",))
+        sim.run()
+        with pytest.raises(SimulationError, match="floor"):
+            pop.add(4.0, "y")
+
+
+# ----------------------------------------------------------------------
+# Batch backend mechanics
+# ----------------------------------------------------------------------
+def _fill(pop, times, payloads):
+    pop.add_many(np.asarray(times, dtype=float), list(payloads))
+
+
+class TestBatchSimulator:
+    def test_pending_and_clock(self):
+        sim = BatchSimulator()
+        fired = []
+        pop = sim.population(fired.append)
+        for index in range(10):
+            pop.add(float(index + 1), index)
+        assert sim.pending == 10
+        sim.run()
+        assert fired == list(range(10))
+        assert sim.pending == 0
+        assert sim.now == 10.0
+
+    def test_until_pauses_and_resumes(self):
+        sim = BatchSimulator()
+        fired = []
+        pop = sim.population(fired.append)
+        for index in range(100):
+            pop.add(float(index), index)
+        sim.run(until_us=49.5)
+        assert fired == list(range(50))
+        assert sim.now == 49.5
+        sim.run()
+        assert fired == list(range(100))
+
+    def test_max_events_budget(self):
+        sim = BatchSimulator()
+        fired = []
+        pop = sim.population(fired.append)
+        for index in range(100):
+            pop.add(float(index), index)
+        sim.run(max_events=30)
+        assert len(fired) == 30
+        while sim.step():
+            pass
+        assert len(fired) == 100
+
+    def test_small_backlog_spills_to_heap(self):
+        sim = BatchSimulator()
+        fired = []
+        pop = sim.population(fired.append)
+        count = _MIN_BULK_SEGMENT - 2
+        for index in range(count):
+            pop.add(float(index), index)
+        sim.run()
+        assert fired == list(range(count))
+        # spilled backlogs never cut a window
+        assert sim.batch_windows == 0
+
+    def test_deep_backlog_uses_windows(self):
+        sim = BatchSimulator()
+        fired = []
+        pop = sim.population(fired.append)
+        count = _WINDOW + 100
+        for index in range(count):
+            pop.add(float(index), index)
+        sim.run()
+        assert fired == list(range(count))
+        assert sim.batch_grand_sorts >= 1
+        assert sim.batch_windows >= 2
+
+    def test_undercut_counter_and_order(self):
+        sim = BatchSimulator()
+        log = []
+
+        def complete(tag):
+            log.append((sim.now, tag))
+            if tag == "first":
+                # Below the active window's ceiling: must be routed to
+                # the heap and still fire in exact time order.
+                pop.add(sim.now + 0.25, "undercut")
+
+        pop = sim.population(complete)
+        for index in range(_WINDOW):
+            pop.add(float(index + 1), "first" if index == 0 else index)
+        sim.run()
+        assert log[0] == (1.0, "first")
+        assert log[1] == (1.25, "undercut")
+        assert sim.batch_undercuts >= 1
+
+    def test_refold_merges_late_stagers(self):
+        sim = BatchSimulator()
+        log = []
+
+        def timer():
+            # Stages new population entries whose times land inside the
+            # *next* window's span, forcing a refold at the next cut.
+            for offset in range(70):
+                pop.add(sim.now + 200.0 + offset * 0.5, "late")
+
+        pop = sim.population(lambda tag: log.append((sim.now, tag)))
+        for index in range(_WINDOW + 500):
+            pop.add(float(index + 100), index)
+        sim.at(50.0, timer)
+        sim.run()
+        times = [t for t, _ in log]
+        assert times == sorted(times)
+
+    def test_bulk_delivery_batches(self):
+        sim = BatchSimulator()
+        deliveries = []
+        pop = sim.population(
+            lambda times, payloads: deliveries.append(len(times)), bulk=True
+        )
+        _fill(pop, [float(i + 1) for i in range(500)], range(500))
+        sim.run()
+        assert sum(deliveries) == 500
+        # actually batched: far fewer deliveries than entries
+        assert len(deliveries) < 50
+
+    def test_bulk_floor_violation_raises(self):
+        sim = BatchSimulator()
+        pop = sim.population(lambda times, payloads: None, bulk=True)
+        _fill(pop, [float(i + 1) for i in range(200)], range(200))
+        sim.run()
+        assert pop.floor == 200.0
+        with pytest.raises(SimulationError, match="FCFS"):
+            pop.add_many(np.asarray([150.0]), ["late"])
+
+    def test_bulk_and_scalar_pops_interleave(self):
+        sim = BatchSimulator()
+        log = []
+        bulk = sim.population(
+            lambda times, payloads: log.extend(
+                ("bulk", float(t)) for t in times
+            ),
+            bulk=True,
+        )
+        scalar = sim.population(lambda tag: log.append(("scalar", sim.now)))
+        _fill(bulk, [float(2 * i + 2) for i in range(300)], range(300))
+        for index in range(300):
+            scalar.add(float(2 * index + 1), index)
+        sim.run()
+        # every scalar completion fired between the right bulk ones
+        positions = {}
+        for position, (kind, time_us) in enumerate(log):
+            positions[(kind, time_us)] = position
+        for index in range(299):
+            assert positions[("scalar", 2 * index + 1.0)] < positions[
+                ("bulk", 2 * index + 2.0)
+            ]
+
+    def test_past_add_rejected(self):
+        sim = BatchSimulator()
+        pop = sim.population(lambda tag: None)
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            pop.add(4.0, "late")
+
+    def test_add_many_length_mismatch(self):
+        sim = BatchSimulator()
+        pop = sim.population(lambda times, payloads: None, bulk=True)
+        with pytest.raises(SimulationError, match="length"):
+            pop.add_many(np.asarray([1.0, 2.0]), ["only-one"])
+
+    def test_idle_fast_forward_counts(self):
+        sim = BatchSimulator()
+        pop = sim.population(lambda tag: None)
+        for index in range(_WINDOW):
+            pop.add(1000.0 + index, index)
+        sim.run()
+        assert sim.batch_idle_jumps >= 1
+        assert sim.batch_idle_us >= 1000.0
+
+    def test_register_metrics_gauges(self):
+        from repro.obs.registry import Registry
+
+        sim = BatchSimulator()
+        registry = Registry()
+        sim.register_metrics(registry)
+        pop = sim.population(lambda tag: None)
+        for index in range(10):
+            pop.add(float(index), index)
+        sim.run()
+        snapshot = registry.snapshot()
+        assert snapshot["kernel.batch_adds"] == 10
+
+    def test_run_not_reentrant(self):
+        sim = BatchSimulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        sim.at(1.0, reenter)
+        sim.run()
+        assert errors and "reentrant" in errors[0]
+
+    def test_probe_counts_bulk_fires(self):
+        from repro.obs import KernelProbe
+
+        sim = BatchSimulator()
+        sim.probe = KernelProbe()
+        pop = sim.population(lambda times, payloads: None, bulk=True, label="d")
+        _fill(pop, [float(i + 1) for i in range(300)], range(300))
+        sim.run(max_events=200)
+        assert sim.probe.fired_total == 200
+        sim.run()
+        assert sim.probe.fired_total == 300

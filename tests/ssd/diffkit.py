@@ -30,7 +30,7 @@ from repro.ssd import (
     precondition_fragmented,
     profile_by_name,
 )
-from repro.sim import Simulator
+from repro.sim import make_simulator
 
 #: Default geometry for differential runs: small enough to churn
 #: through GC in a few hundred operations, enough overprovisioning for
@@ -139,7 +139,7 @@ def replay(
     condition: str = "fragmented",
 ) -> ReplayResult:
     """Run one schedule through a freshly built device, capture everything."""
-    sim = Simulator()
+    sim = make_simulator()
     profile = profile_by_name(profile_name)
     if profile_overrides:
         profile = profile.with_overrides(**profile_overrides)
