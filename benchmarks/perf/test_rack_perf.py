@@ -1,17 +1,28 @@
-"""Rack-churn wall-clock benchmark: events/s through a full tenant lifecycle.
+"""Rack-churn wall-clock benchmark over the sharded execution layer.
 
 Times a mid-size churn schedule (dozens of tenants arriving, running
-and departing over a 2-JBOF rack) with the kernel probe attached, and
-records the event throughput in ``BENCH_rack.json`` at the repo root.
-Raw rates are machine-dependent, so the report also carries the rate
-normalized by the frozen pre-optimisation kernel's chain-scenario rate
-measured in the same process (the scheme ``test_kernel_perf.py``
-uses); the normalized number is comparable across machines and can be
-frozen into a baseline once enough runs exist.
+and departing over a 2-JBOF rack) through the conservative sharded
+path (``repro.sim.shard``), aggregating events fired across every
+shard kernel, and records the result in ``BENCH_rack.json`` at the
+repo root: total and per-shard event counts, window/message totals,
+barrier stall, and the event rate normalized by the frozen
+pre-optimisation kernel's chain-scenario rate measured in the same
+process (machine-independent, gated against
+``benchmarks/perf/BASELINE.json``).
 
-The hard gates here are correctness, not speed: the run must be
-deterministic (two identical schedules produce byte-identical
-results) and must hand every mega blob back to the rack allocator.
+Gates:
+
+* correctness -- the run must be deterministic (two identical sharded
+  schedules produce byte-identical outcomes) and hand every mega blob
+  back to the rack allocator;
+* normalized throughput -- the chain-normalized rack rate must stay
+  above the committed floor;
+* shard scaling -- on machines with >= 4 cores, a 4-JBOF rack at 4
+  process shards must beat the same rack at 1 shard by >= 1.8x
+  events/s.  Below 4 cores the gate is skipped but *recorded*: the
+  report carries ``cpu_count`` and the skip reason, so a CI machine
+  silently downgrading to the skip path is visible in the artifact.
+
 Quick mode (``REPRO_PERF_QUICK=1``) shrinks the population for CI.
 """
 
@@ -30,11 +41,21 @@ from repro.obs import KernelProbe
 from repro.workloads.population import TenantPopulation
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = Path(__file__).resolve().parent / "BASELINE.json"
 OUTPUT_PATH = REPO_ROOT / "BENCH_rack.json"
 
 QUICK = os.environ.get("REPRO_PERF_QUICK", "") not in ("", "0")
 TENANTS = 12 if QUICK else 32
 HORIZON_US = 200_000.0 if QUICK else 400_000.0
+#: Headline fan-out: one shard per JBOF of the 2-JBOF rack.
+SHARDS = 2
+#: Normalized rates vary more than kernel-vs-kernel ratios (the rack
+#: path exercises allocators, LSM trees and the window protocol), so
+#: the floor is wide; it catches collapses, not noise.
+REGRESSION_TOLERANCE = 0.60
+#: Required speedup of 4 process shards over 1 shard on a 4-JBOF rack.
+SCALING_FLOOR = 1.8
+SCALING_MIN_CORES = 4
 
 
 def _chain_rate() -> float:
@@ -48,44 +69,99 @@ def _chain_rate() -> float:
     return best
 
 
-def _churn_once() -> tuple[dict, int, float]:
-    """One full churn schedule: (outcome, events fired, wall seconds)."""
+def _churn_once(
+    shards: int = SHARDS,
+    mode: str = "auto",
+    jbofs: int = 2,
+    tenants: int = TENANTS,
+    horizon_us: float = HORIZON_US,
+):
+    """One full churn schedule: (outcome, shard report or None, events, wall)."""
     cluster = KvCluster(
         KvClusterConfig(
             scheme="gimbal",
             condition="clean",
-            num_jbofs=2,
+            num_jbofs=jbofs,
             ssds_per_jbof=2,
             seed=11,
-        )
+        ),
+        shards=shards or None,
+        shard_mode=mode,
+        shard_probes=bool(shards),
     )
-    probe = KernelProbe(detailed=False)
-    cluster.sim.probe = probe
+    probe = None
+    if not shards:
+        probe = KernelProbe(detailed=False)
+        cluster.sim.probe = probe
     specs = TenantPopulation(
-        tenants=TENANTS, horizon_us=HORIZON_US, churn=0.8, seed=5
+        tenants=tenants, horizon_us=horizon_us, churn=0.8, seed=5
     ).generate()
     start = time.perf_counter()
     outcome = cluster.run_population(specs)
     wall = time.perf_counter() - start
-    return outcome, probe.fired_total, wall
+    if shards:
+        report = cluster.shard_report  # finalized by run_population
+        events = report["events_fired"]
+    else:
+        report = None
+        events = probe.fired_total
+    return outcome, report, events, wall
+
+
+def _measure_scaling() -> dict:
+    """4 process shards vs 1 shard on a 4-JBOF rack (events/s ratio)."""
+    rates = {}
+    for shards, mode in ((1, "inline"), (4, "processes")):
+        _, _, events, wall = _churn_once(
+            shards=shards,
+            mode=mode,
+            jbofs=4,
+            tenants=TENANTS,
+            horizon_us=HORIZON_US / 2,
+        )
+        rates[shards] = events / wall
+    return {
+        "gated": True,
+        "cpu_count": os.cpu_count(),
+        "rate_1_shard": round(rates[1], 1),
+        "rate_4_shards": round(rates[4], 1),
+        "speedup": round(rates[4] / rates[1], 3),
+        "floor": SCALING_FLOOR,
+    }
 
 
 def test_rack_churn_event_rate():
-    first, events, wall = _churn_once()
-    second, _, _ = _churn_once()
+    first, report, events, wall = _churn_once()
+    second, _, _, _ = _churn_once()
 
-    # Correctness gates: reclamation and determinism.
+    # Correctness gates: reclamation and determinism of the sharded path.
     assert first["megas_leaked"] == 0
     assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
 
+    cores = os.cpu_count() or 1
+    if cores >= SCALING_MIN_CORES:
+        scaling = _measure_scaling()
+    else:
+        scaling = {
+            "gated": False,
+            "cpu_count": cores,
+            "reason": f"needs >= {SCALING_MIN_CORES} cores for 4 process shards",
+        }
+
     rate = events / wall
     chain = _chain_rate()
-    report = {
+    out = {
         "suite": "rack",
         "quick": QUICK,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cores,
         "tenants": TENANTS,
         "horizon_us": HORIZON_US,
+        "shards": first["shard"]["shards"],
+        "shard_mode": "processes" if cores > 1 else "inline",
+        "shard_windows": first["shard"]["windows"],
+        "shard_messages": first["shard"]["messages"],
+        "events_by_shard": report["events_by_shard"],
+        "barrier_stall_s": round(report["barrier_stall_s"], 3),
         "events_fired": events,
         "wall_seconds": round(wall, 3),
         "events_per_second": round(rate, 1),
@@ -94,8 +170,26 @@ def test_rack_churn_event_rate():
         "megas_allocated": first["megas_allocated"],
         "peak_tenants": first["peak_tenants"],
         "drained_us": first["drained_us"],
+        "scaling": scaling,
     }
-    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    OUTPUT_PATH.write_text(json.dumps(out, indent=2) + "\n", encoding="utf-8")
     print()
-    print(json.dumps(report, indent=2))
+    print(json.dumps(out, indent=2))
     assert events > 0 and rate > 0
+    assert events == sum(report["events_by_shard"])
+
+    # Normalized-throughput gate against the committed floor.
+    committed = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    reference = committed["rack"]["normalized_rate"]
+    floor = reference * (1.0 - REGRESSION_TOLERANCE)
+    assert out["normalized_rate"] >= floor, (
+        f"rack normalized rate {out['normalized_rate']:.4f} fell below "
+        f"floor {floor:.4f} (committed {reference:.4f}); see BENCH_rack.json"
+    )
+
+    # Shard-scaling gate (recorded skip below SCALING_MIN_CORES).
+    if scaling["gated"]:
+        assert scaling["speedup"] >= SCALING_FLOOR, (
+            f"4-shard rack only {scaling['speedup']:.2f}x over 1 shard "
+            f"(floor {SCALING_FLOOR}x); see BENCH_rack.json"
+        )

@@ -28,6 +28,7 @@ import sys
 from typing import Dict, Optional, Tuple
 
 from repro.sim.engine import KERNEL_BACKEND_ENV, KERNEL_BACKENDS
+from repro.sim.shard import SHARD_MODES, resolve_shards
 
 
 def _add_kernel_backend_arg(parser: argparse.ArgumentParser) -> None:
@@ -47,6 +48,47 @@ def _apply_kernel_backend(args: argparse.Namespace) -> None:
     backend = getattr(args, "kernel_backend", None)
     if backend is not None:
         os.environ[KERNEL_BACKEND_ENV] = backend
+
+
+def _add_shards_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition each rack simulation into N JBOF shards advanced "
+        "in conservative time windows (0 = unsharded; default: the "
+        "REPRO_SHARDS environment variable, else unsharded)",
+    )
+    parser.add_argument(
+        "--shard-mode",
+        choices=SHARD_MODES,
+        default="auto",
+        help="how shards execute: worker 'processes', single-process "
+        "'inline' round-robin (byte-identical results), or 'auto' "
+        "(processes when multiple cores are available)",
+    )
+
+
+def _inject_shards(
+    args: argparse.Namespace, run_params, kwargs: dict, name: str
+) -> None:
+    """Thread ``--shards`` into a driver as an explicit kwarg.
+
+    The shard count must reach :class:`KvCluster` as a real point
+    parameter (never ambient environment state) so the result cache
+    fingerprints it; drivers without sharded topologies simply don't
+    take the kwarg.
+    """
+    shards = resolve_shards(getattr(args, "shards", None))
+    if not shards:
+        return
+    if "shards" not in run_params:
+        print(f"note: {name} does not support --shards; ignoring", file=sys.stderr)
+        return
+    kwargs["shards"] = shards
+    if "shard_mode" in run_params:
+        kwargs["shard_mode"] = args.shard_mode
 
 #: experiment name -> (module path, quick-mode kwargs).
 EXPERIMENTS: Dict[str, Tuple[str, dict]] = {
@@ -136,6 +178,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"note: {name} does not support --jobs; running serially",
                 file=sys.stderr,
             )
+    _inject_shards(args, run_params, kwargs, name)
     cache = _cache_from_args(args)
     if "cache" in run_params:
         kwargs["cache"] = cache
@@ -205,6 +248,14 @@ def cmd_suite(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"{exc.args[0]}; try: python -m repro list", file=sys.stderr)
         return 2
+    shards = resolve_shards(getattr(args, "shards", None))
+    if shards:
+        # Drivers that take no `shards` kwarg filter it out through
+        # _accepted_kwargs; the ones that do get it fingerprinted like
+        # any other point parameter.
+        for spec in specs:
+            spec.kwargs["shards"] = shards
+            spec.kwargs["shard_mode"] = args.shard_mode
     cache = _cache_from_args(args)
     started = time.perf_counter()
 
@@ -333,6 +384,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     """
     _apply_kernel_backend(args)
     import cProfile
+    import inspect
     import pstats
 
     name = _resolve_experiment(args.experiment)
@@ -341,6 +393,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
         return 2
     module, quick_kwargs = _load(name)
     kwargs = dict(quick_kwargs) if not args.full else {}
+    run_params = inspect.signature(module.run).parameters
+    _inject_shards(args, run_params, kwargs, name)
+
+    if "shards" in kwargs:
+        return _profile_sharded(args, module, kwargs)
 
     profiler = cProfile.Profile()
     profiler.enable()
@@ -355,6 +412,54 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if args.output:
         stats.dump_stats(args.output)
         print(f"raw profile: {args.output} (inspect with python -m pstats)", file=sys.stderr)
+    return 0
+
+
+def _profile_sharded(args: argparse.Namespace, module, kwargs: dict) -> int:
+    """``repro profile --shards N``: per-shard cProfile breakdown.
+
+    Each shard kernel (the coordinator's shard 0 included) profiles its
+    own window steps -- in its worker process when sharded across
+    processes, via the inline channel otherwise -- so only one profiler
+    is ever active per process (two concurrently enabled cProfile
+    instances raise).  Dumps are merged per shard id and printed as one
+    breakdown per shard.
+    """
+    import pstats
+    import tempfile
+
+    from repro.sim.shard import SHARD_PROFILE_ENV
+
+    shard_dir = tempfile.mkdtemp(prefix="repro-shard-profile-")
+    previous = os.environ.get(SHARD_PROFILE_ENV)
+    os.environ[SHARD_PROFILE_ENV] = shard_dir
+    try:
+        results = module.run(**kwargs)
+    finally:
+        if previous is None:
+            os.environ.pop(SHARD_PROFILE_ENV, None)
+        else:
+            os.environ[SHARD_PROFILE_ENV] = previous
+    if not args.quiet:
+        print(module.summarize(results))
+        print()
+    by_shard: Dict[str, list] = {}
+    for entry in sorted(os.listdir(shard_dir)):
+        if entry.endswith(".pstats"):
+            shard_id = entry.split(".", 1)[0]
+            by_shard.setdefault(shard_id, []).append(os.path.join(shard_dir, entry))
+    if not by_shard:
+        print("no shard profiles were produced", file=sys.stderr)
+        return 1
+    for shard_id in sorted(by_shard, key=lambda key: int(key.rsplit("-", 1)[-1])):
+        paths = by_shard[shard_id]
+        stats = pstats.Stats(paths[0], stream=sys.stdout)
+        for path in paths[1:]:
+            stats.add(path)
+        label = "coordinator" if shard_id.endswith("-0") else "JBOF shard"
+        print(f"=== {shard_id} ({label}, {len(paths)} dump(s)) ===")
+        stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(f"raw per-shard profiles: {shard_dir}", file=sys.stderr)
     return 0
 
 
@@ -527,6 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache directory (default .repro-cache; implies --cache)",
     )
+    _add_shards_args(run_parser)
     _add_kernel_backend_arg(run_parser)
     run_parser.set_defaults(fn=cmd_run)
 
@@ -584,6 +690,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache directory (default .repro-cache; implies --cache)",
     )
+    _add_shards_args(suite_parser)
     _add_kernel_backend_arg(suite_parser)
     suite_parser.set_defaults(fn=cmd_suite)
 
@@ -614,6 +721,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument(
         "--quiet", action="store_true", help="suppress the experiment's own summary"
     )
+    _add_shards_args(profile_parser)
     _add_kernel_backend_arg(profile_parser)
     profile_parser.set_defaults(fn=cmd_profile)
 

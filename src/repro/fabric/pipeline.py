@@ -94,6 +94,11 @@ class SsdPipeline:
         #: Responses owed to clients (requests between arrival and the
         #: response capsule going out).
         self._inflight_replies = 0
+        #: Shard-boundary seam: when set, completed requests cross back
+        #: to the coordinator shard as serialized messages instead of a
+        #: locally scheduled reply callback (``fn(request, deliver_us)``,
+        #: installed by :mod:`repro.fabric.boundary`).
+        self._reply_boundary = None
         self._client_ports: Dict[str, NetworkPort] = {}
         self._namespaces: Dict[str, Namespace] = {}
         # Last credit grant journalled per tenant: the CREDIT trace
@@ -400,7 +405,11 @@ class SsdPipeline:
         port.tx_busy_until = tx_done
         port.bytes_sent += wire_bytes
         port.messages_sent += 1
-        self.sim.at_(tx_done + self._propagation_us, reply, request)
+        boundary = self._reply_boundary
+        if boundary is None:
+            self.sim.at_(tx_done + self._propagation_us, reply, request)
+        else:
+            boundary(request, tx_done + self._propagation_us)
 
     # ------------------------------------------------------------------
     # Observability

@@ -24,6 +24,7 @@ schedule can be executed end to end with
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -34,6 +35,18 @@ from repro.fabric import (
     NvmeOfTarget,
     PardaClientPolicy,
     UnlimitedClientPolicy,
+)
+from repro.fabric.boundary import (
+    CoordinatorFabric,
+    JbofShardHost,
+    fabric_lookahead_us,
+)
+from repro.sim.engine import KERNEL_BACKEND_ENV
+from repro.sim.shard import (
+    ShardExecutor,
+    ShardKernel,
+    ShardPlan,
+    plan_shards,
 )
 from repro.harness.testbed import SCHEMES
 from repro.kv import (
@@ -86,6 +99,58 @@ class KvClusterConfig:
             raise ValueError("departure poll interval must be positive")
 
 
+def _scheduler_factory_for(scheme: str):
+    if scheme == "gimbal":
+        return GimbalScheduler
+    if scheme == "reflex":
+        return ReflexScheduler
+    if scheme == "flashfq":
+        return FlashFqScheduler
+    return FifoScheduler
+
+
+def build_jbof_shard(spec: Dict[str, object]) -> ShardKernel:
+    """Build one JBOF shard: its own simulator, network, targets.
+
+    Module-level and driven by a plain-dict spec so it pickles into a
+    shard worker process; the inline (single-process) execution path
+    calls it directly, which is what makes the two byte-identical.
+    """
+    config: KvClusterConfig = spec["config"]
+    sim = make_simulator(spec.get("kernel_backend"))
+    network = Network(sim)
+    factory = _scheduler_factory_for(config.scheme)
+    targets: Dict[str, NvmeOfTarget] = {}
+    for jbof_index in spec["jbof_indices"]:
+        devices: Dict[str, SsdDevice] = {}
+        for ssd_index in range(config.ssds_per_jbof):
+            device = SsdDevice(
+                sim, geometry=config.geometry, name=f"ssd{ssd_index}"
+            )
+            if config.condition == "clean":
+                precondition_clean(device)
+            elif config.condition == "fragmented":
+                precondition_fragmented(device)
+            devices[f"ssd{ssd_index}"] = device
+        targets[f"jbof{jbof_index}"] = NvmeOfTarget(
+            sim,
+            network,
+            f"jbof{jbof_index}",
+            devices,
+            scheduler_factory=factory,
+        )
+    host = JbofShardHost(sim, network, targets)
+    kernel = ShardKernel(
+        spec["shard_id"],
+        sim,
+        host.handle_message,
+        spec["lookahead_us"],
+        probe=bool(spec.get("probe", False)),
+    )
+    host.bind_kernel(kernel)
+    return kernel
+
+
 @dataclass
 class KvInstance:
     """Everything one DB instance owns inside the cluster."""
@@ -110,7 +175,13 @@ class KvCluster:
 
     __test__ = False
 
-    def __init__(self, config: KvClusterConfig):
+    def __init__(
+        self,
+        config: KvClusterConfig,
+        shards: Optional[int] = None,
+        shard_mode: str = "auto",
+        shard_probes: bool = False,
+    ):
         self.config = config
         self.sim = make_simulator()
         self.rngs = RngRegistry(config.seed)
@@ -121,6 +192,29 @@ class KvCluster:
         self.global_allocator = GlobalBlobAllocator(
             mega_pages=config.mega_pages, load_of=self._ssd_load
         )
+        self.shard_plan: Optional[ShardPlan] = None
+        self.shard_executor: Optional[ShardExecutor] = None
+        self.shard_report: Optional[Dict[str, object]] = None
+        self._coordinator: Optional[CoordinatorFabric] = None
+        if shards:
+            self._build_sharded(shards, shard_mode, shard_probes)
+        else:
+            self._build_unsharded()
+        self.runners: List[YcsbRunner] = []
+        self.instances: Dict[str, KvInstance] = {}
+        # Rack-lifecycle accounting (see register_metrics).
+        self.tenants_arrived = 0
+        self.tenants_departed = 0
+        self.peak_tenants = 0
+        self.peak_megas_in_use = 0
+        self._departed_reads_to_primary = 0
+        self._departed_reads_to_shadow = 0
+
+    # ------------------------------------------------------------------
+    # Topology build
+    # ------------------------------------------------------------------
+    def _build_unsharded(self) -> None:
+        config = self.config
         for jbof_index in range(config.num_jbofs):
             devices = {}
             for ssd_index in range(config.ssds_per_jbof):
@@ -146,28 +240,63 @@ class KvCluster:
                 self.global_allocator.register_backend(
                     backend_name, AddressRegion(0, device.exported_pages)
                 )
-        self.runners: List[YcsbRunner] = []
-        self.instances: Dict[str, KvInstance] = {}
-        # Rack-lifecycle accounting (see register_metrics).
-        self.tenants_arrived = 0
-        self.tenants_departed = 0
-        self.peak_tenants = 0
-        self.peak_megas_in_use = 0
-        self._departed_reads_to_primary = 0
-        self._departed_reads_to_shadow = 0
+
+    def _build_sharded(
+        self, requested: int, shard_mode: str, shard_probes: bool
+    ) -> None:
+        """Partition the rack: coordinator shard 0 keeps every client-side
+        object on ``self.sim``; JBOFs spread round-robin over shards
+        1..N, each with its own simulator behind the fabric boundary
+        (:mod:`repro.fabric.boundary`)."""
+        config = self.config
+        plan = plan_shards(requested, mode=shard_mode, max_shards=config.num_jbofs)
+        self.shard_plan = plan
+        lookahead = fabric_lookahead_us(self.network)
+        coordinator = CoordinatorFabric(self.sim, self.network)
+        self._coordinator = coordinator
+        executor = ShardExecutor(lookahead)
+        kernel = ShardKernel(
+            0, self.sim, coordinator.handle_message, lookahead, probe=shard_probes
+        )
+        coordinator.bind_kernel(kernel)
+        executor.add_local(kernel)
+        backend = os.environ.get(KERNEL_BACKEND_ENV) or None
+        for slot in range(plan.shards):
+            spec = {
+                "config": config,
+                "jbof_indices": [
+                    i for i in range(config.num_jbofs) if i % plan.shards == slot
+                ],
+                "shard_id": slot + 1,
+                "lookahead_us": lookahead,
+                "kernel_backend": backend,
+                "probe": shard_probes,
+            }
+            if plan.mode == "processes":
+                executor.add_process(build_jbof_shard, spec)
+            else:
+                executor.add_local(build_jbof_shard(spec))
+        self.shard_executor = executor
+        exported = config.geometry.exported_pages
+        for jbof_index in range(config.num_jbofs):
+            stub = coordinator.target_stub(
+                f"jbof{jbof_index}",
+                1 + jbof_index % plan.shards,
+                [f"ssd{i}" for i in range(config.ssds_per_jbof)],
+            )
+            self.targets.append(stub)
+            for ssd_name in stub.ssd_names:
+                backend_name = f"{stub.name}/{ssd_name}"
+                self._backends_by_ssd[backend_name] = []
+                self.global_allocator.register_backend(
+                    backend_name, AddressRegion(0, exported)
+                )
 
     # ------------------------------------------------------------------
     # Scheme wiring
     # ------------------------------------------------------------------
     def _scheduler_factory(self):
-        scheme = self.config.scheme
-        if scheme == "gimbal":
-            return GimbalScheduler
-        if scheme == "reflex":
-            return ReflexScheduler
-        if scheme == "flashfq":
-            return FlashFqScheduler
-        return FifoScheduler
+        return _scheduler_factory_for(self.config.scheme)
 
     def _client_policy(self):
         scheme = self.config.scheme
@@ -376,7 +505,7 @@ class KvCluster:
 
         for spec in specs:
             self.sim.schedule(max(0.0, spec.arrival_us - self.sim.now), launch, spec)
-        self.sim.run()
+        self._advance()
         if self.instances:
             raise RuntimeError(
                 f"{len(self.instances)} instances still resident after the "
@@ -386,7 +515,7 @@ class KvCluster:
         if missing:
             raise RuntimeError(f"{len(missing)} tenants never departed: {missing[:5]}")
         post_available = self.global_allocator.total_available_megas
-        return {
+        out = {
             "tenants": [results[spec.name] for spec in specs],
             "peak_tenants": self.peak_tenants,
             "peak_megas_in_use": self.peak_megas_in_use,
@@ -397,6 +526,10 @@ class KvCluster:
             "reads_to_shadow": self.reads_to_shadow,
             "drained_us": self.sim.now,
         }
+        shard = self._shard_outcome()
+        if shard is not None:
+            out["shard"] = shard
+        return out
 
     # ------------------------------------------------------------------
     # Rack-level accounting
@@ -435,10 +568,49 @@ class KvCluster:
         )
         registry.gauge(f"{prefix}.reads_to_primary", lambda: self.reads_to_primary)
         registry.gauge(f"{prefix}.reads_to_shadow", lambda: self.reads_to_shadow)
+        if self.shard_executor is not None:
+            self.shard_executor.register_metrics(registry)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _advance(self, until_us: Optional[float] = None) -> None:
+        """Advance the rack: the plain event loop unsharded, the
+        conservative window protocol when sharded."""
+        if self.shard_executor is not None:
+            self.shard_executor.run_until(until_us)
+        elif until_us is None:
+            self.sim.run()
+        else:
+            self.sim.run(until_us=until_us)
+
+    def finish_shards(self) -> Optional[Dict[str, object]]:
+        """Collect shard-layer statistics and shut worker processes
+        down.  Idempotent; returns None on an unsharded cluster.  After
+        this, the cluster cannot advance further."""
+        if self.shard_executor is None:
+            return None
+        self.shard_report = self.shard_executor.finish()
+        return self.shard_report
+
+    def _shard_outcome(self) -> Optional[Dict[str, object]]:
+        """The deterministic slice of the shard report, safe to embed
+        in result rows: identical between inline and multi-process
+        executions of the same plan (wall-clock barrier stalls and the
+        like stay in :attr:`shard_report`)."""
+        report = self.finish_shards()
+        if report is None:
+            return None
+        plan = self.shard_plan
+        return {
+            "shards": plan.shards,
+            "requested": plan.requested,
+            "clamped": plan.clamped,
+            "lookahead_us": report["lookahead_us"],
+            "windows": report["windows"],
+            "messages": report["messages"],
+        }
+
     def load_all(self) -> None:
         """Run the YCSB load phase for every instance.
 
@@ -452,7 +624,7 @@ class KvCluster:
 
         for runner in self.runners:
             runner.load(one_loaded)
-        self.sim.run()
+        self._advance()
         if remaining["count"]:
             raise RuntimeError(f"{remaining['count']} instances did not finish loading")
 
@@ -460,10 +632,10 @@ class KvCluster:
         start = self.sim.now
         for runner in self.runners:
             runner.start()
-        self.sim.run(until_us=start + warmup_us)
+        self._advance(start + warmup_us)
         for runner in self.runners:
             runner.begin_measurement()
-        self.sim.run(until_us=start + warmup_us + measure_us)
+        self._advance(start + warmup_us + measure_us)
         per_instance = [runner.results() for runner in self.runners]
         read_summaries = [r["read_latency"] for r in per_instance if r["read_latency"]["count"]]
         total_kops = sum(r["kops"] for r in per_instance)
@@ -474,10 +646,14 @@ class KvCluster:
             else 0.0
         )
         p999 = max((s["p999"] for s in read_summaries), default=0.0)
-        return {
+        out = {
             "scheme": self.config.scheme,
             "instances": per_instance,
             "total_kops": total_kops,
             "read_avg_us": mean_read,
             "read_p999_us": p999,
         }
+        shard = self._shard_outcome()
+        if shard is not None:
+            out["shard"] = shard
+        return out

@@ -45,14 +45,38 @@ from __future__ import annotations
 import importlib
 import inspect
 import json
+import os
 import time
 from concurrent.futures import as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.harness.cache import CacheSpec, ResultCache, Uncacheable, point_fingerprint, resolve_cache
 from repro.harness.parallel import SweepPoint, WorkerPool, _clamp_jobs, _execute_point_timed
 from repro.obs import bump
+from repro.sim.shard import EFFECTIVE_JOBS_ENV
+
+
+@contextmanager
+def _advertise_jobs(effective_jobs: int):
+    """Expose the suite's job budget to points executed in-process.
+
+    Worker processes learn the budget from their pool initializer;
+    points running in the orchestrating process itself (serial paths)
+    read it from the environment, so a sharded point under ``repro
+    suite`` clamps its shard fan-out rather than multiplying the
+    suite's parallelism.
+    """
+    previous = os.environ.get(EFFECTIVE_JOBS_ENV)
+    os.environ[EFFECTIVE_JOBS_ENV] = str(max(1, effective_jobs))
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(EFFECTIVE_JOBS_ENV, None)
+        else:
+            os.environ[EFFECTIVE_JOBS_ENV] = previous
 
 #: Name of the per-cache-directory suite journal (one JSON line per
 #: orchestrated suite run; distinct from the per-sweep ``journal.jsonl``).
@@ -525,10 +549,11 @@ def run_suite(
                     future.cancel()
                 raise
         else:
-            for unit in serial_units:
-                for exp_ord, point in ((task.exp, task.point) for task in unit):
-                    index, elapsed, value = _execute_point_timed(point)
-                    account(states[exp_ord], exp_ord, index, elapsed, value)
+            with _advertise_jobs(effective_jobs):
+                for unit in serial_units:
+                    for exp_ord, point in ((task.exp, task.point) for task in unit):
+                        index, elapsed, value = _execute_point_timed(point)
+                        account(states[exp_ord], exp_ord, index, elapsed, value)
     finally:
         if own_pool and pool is not None:
             pool.close(cancel_pending=True)
@@ -593,14 +618,15 @@ def run_suite_serial(
     serial suites must produce equal per-experiment results.
     """
     results: Dict[str, Any] = {}
-    for spec in specs:
-        module = spec.load()
-        run_fn = module.run
-        kwargs = _accepted_kwargs(run_fn, spec.kwargs)
-        params = inspect.signature(run_fn).parameters
-        if "jobs" in params:
-            kwargs["jobs"] = jobs
-        if "cache" in params:
-            kwargs["cache"] = cache
-        results[spec.name] = run_fn(**kwargs)
+    with _advertise_jobs(jobs):
+        for spec in specs:
+            module = spec.load()
+            run_fn = module.run
+            kwargs = _accepted_kwargs(run_fn, spec.kwargs)
+            params = inspect.signature(run_fn).parameters
+            if "jobs" in params:
+                kwargs["jobs"] = jobs
+            if "cache" in params:
+                kwargs["cache"] = cache
+            results[spec.name] = run_fn(**kwargs)
     return results

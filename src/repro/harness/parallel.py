@@ -42,6 +42,7 @@ from repro.harness.cache import CacheSpec, ResultCache, resolve_cache
 from repro.metrics import IntervalSeries, LatencyHistogram, PercentileTimeline
 from repro.obs import bump
 from repro.sim.rng import derive_seed
+from repro.sim.shard import EFFECTIVE_JOBS_ENV
 
 
 @dataclass(frozen=True)
@@ -111,7 +112,11 @@ def _execute_pending(
         return _consume(
             [executor.submit(_execute_point_timed, point) for point in pending]
         )
-    with ProcessPoolExecutor(max_workers=min(jobs, max(1, len(pending)))) as pool:
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, max(1, len(pending))),
+        initializer=_warm_worker,
+        initargs=(jobs,),
+    ) as pool:
         # Consume inside the with-block so worker crashes surface here
         # rather than as a BrokenProcessPool on exit.
         return _consume([pool.submit(_execute_point_timed, point) for point in pending])
@@ -133,7 +138,9 @@ def _clamp_jobs(jobs: int) -> int:
     return cpu_count
 
 
-def _warm_worker() -> None:  # pragma: no cover - runs in worker processes
+def _warm_worker(
+    effective_jobs: Optional[int] = None,
+) -> None:  # pragma: no cover - runs in worker processes
     """Pool initializer: pre-import the heavy ``repro`` surface.
 
     With the ``spawn`` start method a fresh worker pays the full
@@ -141,7 +148,14 @@ def _warm_worker() -> None:  # pragma: no cover - runs in worker processes
     importing here moves that cost to pool construction, where it is
     paid once per suite instead of once per sweep.  Under ``fork`` the
     modules are already inherited and these imports are no-ops.
+
+    ``effective_jobs`` advertises the pool's job budget to the worker
+    (via ``REPRO_EFFECTIVE_JOBS``), so a sharded point running inside
+    it clamps its own shard-process fan-out instead of multiplying the
+    pool's parallelism (see :func:`repro.sim.shard.plan_shards`).
     """
+    if effective_jobs is not None:
+        os.environ[EFFECTIVE_JOBS_ENV] = str(effective_jobs)
     import repro.harness.experiments  # noqa: F401
     import repro.harness.kvcluster  # noqa: F401
     import repro.harness.testbed  # noqa: F401
@@ -174,7 +188,9 @@ class WorkerPool:
     def executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(
-                max_workers=self.jobs, initializer=_warm_worker
+                max_workers=self.jobs,
+                initializer=_warm_worker,
+                initargs=(self.jobs,),
             )
         return self._executor
 

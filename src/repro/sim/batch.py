@@ -581,6 +581,42 @@ class BatchSimulator(Simulator):
                 probe.end_run(self.now, fired)
         return self.now
 
+    def next_event_time(self) -> Optional[float]:
+        """Earliest live event across heap, staged/pooled batches, and
+        the active window's unconsumed segments.
+
+        ``_advance`` can stop mid-window at ``until``, leaving entries
+        behind the segment cursors; those are still pending work and
+        must bound the next conservative window in
+        :mod:`repro.sim.shard`, so they are scanned here alongside the
+        heap head and the batch backlog.
+        """
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            heappop(heap)
+            self._dead -= 1
+        nxt = heap[0][0] if heap else _INF
+        batch_next = self._next_batch_time()
+        if batch_next < nxt:
+            nxt = batch_next
+        segments = self._segments
+        for index in range(self._seg_idx, len(segments)):
+            seg = segments[index]
+            cursor = seg[1]
+            times = seg[2]
+            if seg[0] == _ARRAY:
+                if cursor < times.shape[0]:
+                    head = float(times[cursor])
+                    if head < nxt:
+                        nxt = head
+                    break
+            elif cursor < len(times):
+                head = times[cursor]
+                if head < nxt:
+                    nxt = head
+                break
+        return None if nxt == _INF else float(nxt)
+
     def _drain_fast(self, until_us: Optional[float]) -> None:
         # run() dispatches here on the base class; route everything
         # through the batch-aware loop instead.

@@ -789,6 +789,24 @@ class Simulator:
         """Number of not-yet-cancelled events still queued.  O(1)."""
         return self._live
 
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event, or None when idle.
+
+        Prunes cancelled entries off the heap head as a side effect, so
+        repeated calls stay O(1) amortised.  The sharded window driver
+        (:mod:`repro.sim.shard`) uses this as the conservative bound on
+        when this kernel can next affect another shard.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2] is None:
+                heappop(heap)
+                self._dead -= 1
+                continue
+            return entry[0]
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now:.3f}us, pending={self.pending})"
 

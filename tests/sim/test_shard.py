@@ -1,0 +1,328 @@
+"""Unit tests for the conservative sharded execution layer.
+
+Exercises the window protocol on toy ping-pong shards (no rack stack):
+plan/budget resolution, the lookahead contract at emission, canonical
+message ordering, bounded/unbounded ``run_until`` semantics including
+the collect-outboxes-at-entry path, and byte-identity between inline
+and worker-process channels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.sim import make_simulator
+from repro.sim.shard import (
+    EFFECTIVE_JOBS_ENV,
+    SHARDS_ENV,
+    ShardExecutor,
+    ShardKernel,
+    ShardMessage,
+    ShardProtocolError,
+    ShardWorkerError,
+    _message_key,
+    plan_shards,
+    resolve_shards,
+)
+
+LOOKAHEAD = 1.0
+HOP = 2.5  # strictly beyond the lookahead, as every real fabric hop is
+
+
+class Bouncer:
+    """Toy shard logic: log deliveries; bounce pings until payload hits 0."""
+
+    def __init__(self, peer: int):
+        self.peer = peer
+        self.kernel = None
+        self.log = []
+
+    def handle(self, msg: ShardMessage) -> None:
+        self.log.append((msg.kind, msg.due_us, msg.src, msg.payload))
+        if msg.kind == "ping" and msg.payload > 0:
+            self.kernel.emit(
+                self.peer, "ping", self.kernel.sim.now + HOP, msg.payload - 1
+            )
+
+
+def build_bouncer_shard(spec):
+    """Module-level factory so worker processes can build the toy shard."""
+    sim = make_simulator(spec.get("backend"))
+    bouncer = Bouncer(spec["peer"])
+    kernel = ShardKernel(
+        spec["shard_id"], sim, bouncer.handle, spec["lookahead_us"], probe=True
+    )
+    bouncer.kernel = kernel
+    kernel.bouncer = bouncer  # keep reachable for inline assertions
+    return kernel
+
+
+def build_broken_shard(spec):
+    raise RuntimeError("deliberate shard build failure")
+
+
+def _toy_pair(mode: str, backend=None):
+    """A two-shard ping-pong topology; shard 0 is always local."""
+    executor = ShardExecutor(lookahead_us=LOOKAHEAD)
+    spec0 = {"shard_id": 0, "peer": 1, "lookahead_us": LOOKAHEAD, "backend": backend}
+    spec1 = {"shard_id": 1, "peer": 0, "lookahead_us": LOOKAHEAD, "backend": backend}
+    executor.add_local(build_bouncer_shard(spec0))
+    if mode == "processes":
+        executor.add_process(build_bouncer_shard, spec1)
+    else:
+        executor.add_local(build_bouncer_shard(spec1))
+    return executor
+
+
+class TestResolveShards:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "8")
+        assert resolve_shards(3) == 3
+
+    def test_zero_means_unsharded(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        assert resolve_shards(0) is None
+        assert resolve_shards(None) is None
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        assert resolve_shards(None) == 4
+        monkeypatch.setenv(SHARDS_ENV, "0")
+        assert resolve_shards(None) is None
+
+
+class TestPlanShards:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards(2, mode="threads")
+
+    def test_topology_cap(self, monkeypatch):
+        monkeypatch.delenv(EFFECTIVE_JOBS_ENV, raising=False)
+        plan = plan_shards(8, mode="inline", max_shards=3)
+        assert plan.shards == 3
+        assert plan.requested == 8
+        assert not plan.clamped
+
+    def test_inline_mode_ignores_budget(self, monkeypatch):
+        monkeypatch.setenv(EFFECTIVE_JOBS_ENV, "1")
+        plan = plan_shards(4, mode="inline")
+        assert plan == plan_shards(4, mode="inline")
+        assert plan.shards == 4
+        assert plan.mode == "inline"
+        assert not plan.clamped
+
+    def test_no_budget_headroom_falls_back_inline(self, monkeypatch):
+        monkeypatch.setenv(EFFECTIVE_JOBS_ENV, "1")
+        plan = plan_shards(4, mode="processes")
+        assert plan.mode == "inline"
+        assert plan.shards == 4  # topology still sharded, just not spawned
+        assert plan.clamped
+
+    def test_budget_clamps_process_fanout(self, monkeypatch):
+        monkeypatch.setenv(EFFECTIVE_JOBS_ENV, "3")
+        plan = plan_shards(4, mode="processes")
+        assert plan.mode == "processes"
+        assert plan.shards == 2  # this process + 2 workers = budget of 3
+        assert plan.clamped
+
+    def test_budget_with_headroom_does_not_clamp(self, monkeypatch):
+        monkeypatch.setenv(EFFECTIVE_JOBS_ENV, "8")
+        plan = plan_shards(2, mode="processes")
+        assert plan.shards == 2
+        assert not plan.clamped
+
+    def test_clamp_bumps_counter(self, monkeypatch):
+        monkeypatch.setenv(EFFECTIVE_JOBS_ENV, "2")
+        with obs.capture() as session:
+            plan_shards(4, mode="processes")
+        assert session.registry.counter("sweep.shards_clamped").value == 1
+
+
+class TestShardKernel:
+    def test_emit_enforces_strict_lookahead(self):
+        sim = make_simulator()
+        kernel = ShardKernel(0, sim, lambda msg: None, LOOKAHEAD)
+        with pytest.raises(ShardProtocolError):
+            kernel.emit(1, "ping", LOOKAHEAD)  # due == now + L: not strict
+        kernel.emit(1, "ping", LOOKAHEAD + 1e-9)
+        assert len(kernel.outbox) == 1
+
+    def test_emit_assigns_monotonic_seq(self):
+        sim = make_simulator()
+        kernel = ShardKernel(0, sim, lambda msg: None, LOOKAHEAD)
+        kernel.emit(1, "a", 10.0)
+        kernel.emit(1, "b", 5.0)
+        seqs = [msg.seq for msg in kernel.outbox]
+        assert seqs == [1, 2]
+
+    def test_step_runs_handler_at_due_time(self):
+        log = []
+        sim = make_simulator()
+        kernel = ShardKernel(0, sim, lambda msg: log.append((sim.now, msg.kind)), 1.0)
+        inbound = [ShardMessage("ping", 0, 4.0, 0.0, 1, 1, None)]
+        outbox, next_t, _fired, now = kernel.step(10.0, inbound)
+        assert log == [(4.0, "ping")]
+        assert outbox == []
+        assert next_t is None
+        assert now == 10.0
+
+
+class TestMessageOrdering:
+    def test_canonical_key(self):
+        a = ShardMessage("x", 0, 5.0, 1.0, 2, 7, None)
+        b = ShardMessage("x", 0, 5.0, 1.0, 1, 9, None)
+        c = ShardMessage("x", 0, 4.0, 3.0, 9, 1, None)
+        assert sorted([a, b, c], key=_message_key) == [c, b, a]
+
+    def test_inbox_sorted_by_due_then_seq(self):
+        executor = ShardExecutor(lookahead_us=LOOKAHEAD)
+        log = []
+        sim0 = make_simulator()
+        executor.add_local(
+            ShardKernel(0, sim0, lambda msg: log.append(msg.payload), LOOKAHEAD)
+        )
+        sim1 = make_simulator()
+        sender = ShardKernel(1, sim1, lambda msg: None, LOOKAHEAD)
+        executor.add_local(sender)
+        sender.emit(0, "x", 10.0, "late")
+        sender.emit(0, "x", 5.0, "early")
+        sender.emit(0, "x", 10.0, "late-after")  # same due: seq breaks the tie
+        executor.run()
+        assert log == ["early", "late", "late-after"]
+
+
+class TestExecutorWindows:
+    def test_ping_pong_drains(self):
+        executor = _toy_pair("inline")
+        shard0 = executor.channels[0].kernel
+        shard0.emit(1, "ping", HOP, 4)
+        executor.run()
+        report = executor.finish()
+        # initial ping + 4 bounces, one window per hop
+        assert report["messages"] == 5
+        assert report["windows"] == 5
+        logs = [executor.channels[i].kernel.bouncer.log for i in (0, 1)]
+        assert [entry[3] for entry in logs[1]] == [4, 2, 0]
+        assert [entry[3] for entry in logs[0]] == [3, 1]
+        assert report["events_fired"] == 5
+
+    def test_collects_outbox_emitted_between_runs(self):
+        # Domain code emits while the local heap is empty; run_until must
+        # see the pending send at entry or it would return immediately.
+        executor = _toy_pair("inline")
+        shard0 = executor.channels[0].kernel
+        shard0.emit(1, "ping", HOP, 0)
+        assert shard0.sim.next_event_time() is None
+        executor.run()
+        assert executor.channels[1].kernel.bouncer.log == [("ping", HOP, 0, 0)]
+
+    def test_bounded_run_lands_every_clock_on_target(self):
+        executor = _toy_pair("inline")
+        shard0 = executor.channels[0].kernel
+        shard0.emit(1, "ping", 100.0, 0)
+        executor.run_until(20.0)
+        assert executor.channels[0].kernel.sim.now == 20.0
+        assert executor.channels[1].kernel.sim.now == 20.0
+        # message still in flight, delivered by the next (unbounded) run
+        assert executor.channels[1].kernel.bouncer.log == []
+        executor.run()
+        assert executor.channels[1].kernel.bouncer.log == [("ping", 100.0, 0, 0)]
+
+    def test_bounded_run_is_resumable_past_target(self):
+        executor = _toy_pair("inline")
+        shard0 = executor.channels[0].kernel
+        shard0.emit(1, "ping", HOP, 2)
+        executor.run_until(HOP)  # exactly the first delivery
+        assert executor.channels[1].kernel.bouncer.log == [("ping", HOP, 0, 2)]
+        executor.run()
+        assert len(executor.channels[0].kernel.bouncer.log) == 1
+        assert executor.finish()["messages"] == 3
+
+    def test_route_rejects_invalid_destination(self):
+        executor = _toy_pair("inline")
+        shard0 = executor.channels[0].kernel
+        shard0.emit(7, "ping", HOP, 0)
+        with pytest.raises(ShardProtocolError):
+            executor.run()
+
+    def test_route_rejects_self_send(self):
+        executor = _toy_pair("inline")
+        shard0 = executor.channels[0].kernel
+        shard0.emit(0, "ping", HOP, 0)
+        with pytest.raises(ShardProtocolError):
+            executor.run()
+
+    def test_add_local_validates_slot(self):
+        executor = ShardExecutor(lookahead_us=LOOKAHEAD)
+        sim = make_simulator()
+        with pytest.raises(ValueError):
+            executor.add_local(ShardKernel(3, sim, lambda msg: None, LOOKAHEAD))
+
+    def test_nonpositive_lookahead_rejected(self):
+        with pytest.raises(ValueError):
+            ShardExecutor(lookahead_us=0.0)
+
+    def test_register_metrics_exposes_per_shard_gauges(self):
+        executor = _toy_pair("inline")
+        executor.channels[0].kernel.emit(1, "ping", HOP, 2)
+        executor.run()
+        executor.finish()
+        registry = obs.Registry()
+        executor.register_metrics(registry)
+        snap = registry.snapshot()
+        assert snap["shard.shards"] == 2
+        assert snap["shard.windows"] == executor.windows
+        assert snap["shard.events.0"] + snap["shard.events.1"] == snap[
+            "shard.events_fired"
+        ]
+
+
+class TestProcessChannels:
+    def test_inline_and_process_reports_identical(self):
+        reports = {}
+        for mode in ("inline", "processes"):
+            executor = _toy_pair(mode)
+            executor.channels[0].kernel.emit(1, "ping", HOP, 6)
+            executor.run()
+            report = executor.finish()
+            report.pop("barrier_stall_s")  # wall clock, machine-dependent
+            reports[mode] = report
+        assert reports["inline"] == reports["processes"]
+
+    def test_worker_build_failure_surfaces(self):
+        executor = ShardExecutor(lookahead_us=LOOKAHEAD)
+        executor.add_local(
+            ShardKernel(0, make_simulator(), lambda msg: None, LOOKAHEAD)
+        )
+        with pytest.raises(ShardWorkerError):
+            executor.add_process(build_broken_shard, {})
+
+    def test_finish_is_idempotent(self):
+        executor = _toy_pair("processes")
+        executor.channels[0].kernel.emit(1, "ping", HOP, 1)
+        executor.run()
+        first = executor.finish()
+        second = executor.finish()
+        assert first == second
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["reference", "batch"])
+    def test_next_event_time(self, backend):
+        sim = make_simulator(backend)
+        assert sim.next_event_time() is None
+        sim.at_(7.5, lambda: None)
+        sim.at_(3.25, lambda: None)
+        assert sim.next_event_time() == 3.25
+        sim.run()
+        assert sim.next_event_time() is None
+
+    @pytest.mark.parametrize("backend", ["reference", "batch"])
+    def test_ping_pong_on_backend(self, backend):
+        executor = _toy_pair("inline", backend=backend)
+        executor.channels[0].kernel.emit(1, "ping", HOP, 3)
+        executor.run()
+        report = executor.finish()
+        assert report["messages"] == 4
+        assert report["windows"] == 4
