@@ -16,9 +16,11 @@ never change what is computed).  The speedup half -- orchestrated at
 least ``required_speedup`` times faster than the baseline, from
 ``BASELINE_SUITE.json``, noise-tolerance-adjusted like the other perf
 gates -- only applies when the machine actually grants >= 2 worker
-processes; on a single-core runner the pool clamps to one worker, both
-legs degenerate to serial execution, and the expectation is recorded
-as skipped (with the reason) in the report instead of asserted.
+processes.  On a single-core runner the orchestrator's one-worker
+bypass keeps everything in-process, so instead of skipping silently
+the gate asserts orchestration costs essentially nothing over the
+serial baseline (>= 0.95x, tolerance-adjusted): cost-model planning
+and streaming accounting must not tax the degenerate case.
 
 ``BENCH_suite.json`` at the repo root records the raw numbers.  Quick
 mode (``REPRO_PERF_QUICK=1``) shrinks the measurement windows for CI
@@ -88,7 +90,9 @@ def test_orchestrated_suite_vs_serial_baseline():
 
     speedup = serial_s / max(orchestrated_s, 1e-9)
     multi_core = suite.jobs >= 2
-    required = baseline["required_speedup"] * SPEEDUP_TOLERANCE
+    required = (
+        baseline["required_speedup"] if multi_core else 0.95
+    ) * SPEEDUP_TOLERANCE
     report = {
         "suite": "suite",
         "quick": QUICK,
@@ -105,8 +109,7 @@ def test_orchestrated_suite_vs_serial_baseline():
         "speedup_gate": (
             f"enforced: >= {required:.2f}x"
             if multi_core
-            else "skipped: single effective worker -- orchestration cannot beat "
-            "serial without parallelism"
+            else f"enforced (single worker, overhead-only): >= {required:.2f}x"
         ),
     }
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -116,15 +119,19 @@ def test_orchestrated_suite_vs_serial_baseline():
         serial_results, sort_keys=True
     ), "orchestrated suite results differ from the serial-experiment baseline"
 
-    # Speedup half: only meaningful when the pool actually has workers.
-    if not multi_core:
-        print(
-            f"suite speedup gate skipped ({report['speedup_gate']}); "
-            f"measured {speedup:.3f}x on jobs_effective={suite.jobs}"
+    if multi_core:
+        assert speedup >= required, (
+            f"orchestrated suite is {speedup:.2f}x the serial baseline "
+            f"({orchestrated_s:.1f}s vs {serial_s:.1f}s), below the gated "
+            f"{baseline['required_speedup']}x (tolerance-adjusted floor {required:.2f}x)"
         )
-        return
-    assert speedup >= required, (
-        f"orchestrated suite is {speedup:.2f}x the serial baseline "
-        f"({orchestrated_s:.1f}s vs {serial_s:.1f}s), below the gated "
-        f"{baseline['required_speedup']}x (tolerance-adjusted floor {required:.2f}x)"
-    )
+    else:
+        # One effective worker: orchestration cannot win, but with the
+        # in-process bypass it must not lose either.  This replaces the
+        # old silent skip -- a regression that taxes the degenerate
+        # single-core path now fails loudly.
+        assert speedup >= required, (
+            f"single-worker orchestration costs too much: {speedup:.2f}x the "
+            f"serial baseline ({orchestrated_s:.1f}s vs {serial_s:.1f}s), "
+            f"below the overhead floor {required:.2f}x"
+        )

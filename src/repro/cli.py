@@ -13,8 +13,14 @@ Commands:
   worker pool via :mod:`repro.harness.orchestrator` (cost-model
   scheduling, streaming execution; results identical to running each
   experiment serially);
-* ``cache {stats,prune,clear}`` -- inspect or manage the sweep-point
-  result cache that ``run --cache`` (or ``REPRO_CACHE=1``) populates;
+* ``explore <experiment> [--grid axis=...] [--budget F] [--target-error E]``
+  -- surrogate-guided adaptive sweep: train a model on the result
+  cache's journal, simulate only the grid points near predicted
+  crossovers or with high model disagreement (see
+  :mod:`repro.harness.adaptive`);
+* ``cache {stats,journal,prune,clear}`` -- inspect or manage the
+  sweep-point result cache that ``run --cache`` (or ``REPRO_CACHE=1``)
+  populates;
 * ``profile <experiment>`` -- run one experiment under :mod:`cProfile`
   and print the hottest functions, the first stop when a figure takes
   longer to regenerate than expected.
@@ -313,6 +319,129 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_grid_values(text: str):
+    """Parse one ``--grid`` axis: ``v1,v2,...`` or ``lo:hi:n``.
+
+    ``lo:hi:n`` expands to ``n`` evenly spaced values (integers when
+    the endpoints and step are integral, floats otherwise).
+    """
+
+    def scalar(token: str):
+        token = token.strip()
+        try:
+            return int(token)
+        except ValueError:
+            pass
+        try:
+            return float(token)
+        except ValueError:
+            return token
+
+    if ":" in text and "," not in text:
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise ValueError(f"range axis must be lo:hi:n, got {text!r}")
+        lo, hi, n = scalar(parts[0]), scalar(parts[1]), int(parts[2])
+        if n < 2:
+            raise ValueError(f"range axis needs n >= 2, got {n}")
+        step = (hi - lo) / (n - 1)
+        values = [lo + step * i for i in range(n)]
+        if isinstance(lo, int) and isinstance(hi, int) and all(
+            float(v).is_integer() for v in values
+        ):
+            return [int(v) for v in values]
+        return [round(float(v), 10) for v in values]
+    return [scalar(token) for token in text.split(",") if token.strip()]
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """``repro explore`` -- surrogate-guided adaptive grid exploration."""
+    _apply_kernel_backend(args)
+    import json
+
+    from repro.harness.adaptive import explore
+
+    name = _resolve_experiment(args.experiment)
+    if name is None:
+        print(f"unknown experiment {args.experiment!r}; try: python -m repro list", file=sys.stderr)
+        return 2
+    module, _ = _load(name)
+    space_fn = getattr(module, "explore_space", None)
+    if space_fn is None:
+        supported = sorted(
+            key for key, (module_path, _) in EXPERIMENTS.items()
+            if hasattr(__import__(module_path, fromlist=["x"]), "explore_space")
+        )
+        print(
+            f"{name} does not expose an explore_space(); try one of: "
+            + ", ".join(supported),
+            file=sys.stderr,
+        )
+        return 2
+    space = space_fn(root_seed=args.seed) if args.seed is not None else space_fn()
+    for override in args.grid or []:
+        axis, _, values = override.partition("=")
+        axis = axis.strip()
+        if not values or axis not in space.axes:
+            print(
+                f"--grid axis {axis!r} is not one of {sorted(space.axes)}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            space.axes[axis] = _parse_grid_values(values)
+        except ValueError as exc:
+            print(f"bad --grid {override!r}: {exc}", file=sys.stderr)
+            return 2
+
+    def progress(event: str, payload: dict) -> None:
+        if event == "batch":
+            print(
+                f"  simulated {payload['simulated']}/{payload['budget']} budget points",
+                file=sys.stderr,
+            )
+
+    result = explore(
+        space,
+        budget=args.budget,
+        target_error=args.target_error,
+        jobs=args.jobs,
+        cache=_cache_from_args(args),
+        backend=args.backend,
+        bootstrap=not args.no_bootstrap,
+        progress=progress if not args.quiet else None,
+    )
+    report = result.report()
+    print(
+        f"explored {report['space']}: {report['simulated']}/{report['grid_points']} "
+        f"grid points simulated ({100 * report['fraction_simulated']:.1f}%), "
+        f"{report['rounds']} rounds, backend={report['backend']}, "
+        f"stopped on {report['stopped_on']}"
+    )
+    for target, stats in sorted(report["heldout"].items()):
+        print(
+            f"  held-out {target}: rmse={stats['rmse']:.4g} "
+            f"(relative {100 * stats['rel_rmse']:.1f}% of range, n={stats['count']})"
+        )
+    if space.crossover is not None:
+        if report["crossovers"]:
+            for crossover in report["crossovers"]:
+                group = ",".join(f"{k}={v}" for k, v in sorted(crossover["group"].items()))
+                confidence = "simulated" if crossover.get("observed") else "predicted"
+                print(
+                    f"  crossover [{group or 'all'}]: {crossover['along']} "
+                    f"~= {crossover['estimate']:g} "
+                    f"(between {crossover['lo']} and {crossover['hi']}, {confidence})"
+                )
+        else:
+            print("  no crossovers found on this grid")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+        print(f"explore report: {args.json}", file=sys.stderr)
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     """``repro cache {stats,prune,clear}`` -- manage the result cache."""
     import json
@@ -327,6 +456,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
         by_fn: Dict[str, int] = {}
         for entry in entries:
             by_fn[entry["fn"]] = by_fn.get(entry["fn"], 0) + 1
+        runs = [record for record in cache.read_journal() if "sweep" in record]
         if args.json:
             print(
                 json.dumps(
@@ -336,7 +466,8 @@ def cmd_cache(args: argparse.Namespace) -> int:
                         "total_bytes": total_bytes,
                         "stored_compute_seconds": round(stored_seconds, 3),
                         "by_fn": by_fn,
-                        "runs": cache.read_journal(),
+                        "runs": runs,
+                        "point_records": len(cache.point_records()),
                     },
                     indent=2,
                     sort_keys=True,
@@ -349,7 +480,6 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"stored    : {stored_seconds:.1f}s of compute")
         for fn, count in sorted(by_fn.items()):
             print(f"  {fn}  x{count}")
-        runs = cache.read_journal()
         if runs:
             tail = runs[-5:]
             print(f"last {len(tail)} runs:")
@@ -359,6 +489,44 @@ def cmd_cache(args: argparse.Namespace) -> int:
                     f"hits={record.get('hits', 0)} misses={record.get('misses', 0)} "
                     f"saved={record.get('seconds_saved', 0.0):.1f}s"
                 )
+        return 0
+    if args.cache_command == "journal":
+        points = cache.point_records()
+        runs = [record for record in cache.read_journal() if "sweep" in record]
+        if args.compact:
+            stats = cache.compact_journal(max_records=args.max_records)
+            if args.json:
+                print(json.dumps(stats, indent=2, sort_keys=True))
+            else:
+                print(
+                    f"compacted journal: {stats['records_before']} -> "
+                    f"{stats['records_kept']} records "
+                    f"({stats['dropped_superseded']} superseded, "
+                    f"{stats['dropped_over_cap']} over cap)"
+                )
+            return 0
+        by_fn: Dict[str, int] = {}
+        for record in points:
+            by_fn[record.get("fn", "?")] = by_fn.get(record.get("fn", "?"), 0) + 1
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "cache_dir": str(cache.root),
+                        "sweep_runs": len(runs),
+                        "point_records": len(points),
+                        "points_by_fn": by_fn,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        print(f"cache dir     : {cache.root}")
+        print(f"sweep runs    : {len(runs)}")
+        print(f"point records : {len(points)} (surrogate training data)")
+        for fn, count in sorted(by_fn.items()):
+            print(f"  {fn}  x{count}")
         return 0
     if args.cache_command == "prune":
         removed = cache.prune(
@@ -743,11 +911,100 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel_backend_arg(simulate_parser)
     simulate_parser.set_defaults(fn=cmd_simulate)
 
+    explore_parser = sub.add_parser(
+        "explore",
+        help="surrogate-guided adaptive sweep over an experiment's parameter grid",
+    )
+    explore_parser.add_argument("experiment", help="e.g. fig04, rack (needs explore_space())")
+    explore_parser.add_argument(
+        "--grid",
+        action="append",
+        metavar="AXIS=V1,V2,... | AXIS=LO:HI:N",
+        help="override one grid axis (repeatable); LO:HI:N expands to N "
+        "evenly spaced values",
+    )
+    explore_parser.add_argument(
+        "--budget",
+        type=float,
+        default=0.2,
+        metavar="F",
+        help="simulation budget: a grid fraction (<= 1.0) or an absolute "
+        "point count (default 0.2 = one fifth of the grid)",
+    )
+    explore_parser.add_argument(
+        "--target-error",
+        type=float,
+        default=0.05,
+        metavar="E",
+        help="stop early once every target's held-out relative RMSE is "
+        "under E (default 0.05)",
+    )
+    explore_parser.add_argument(
+        "--backend",
+        choices=["auto", "tree", "knn"],
+        default="auto",
+        help="surrogate backend: numpy bagged trees ('tree'), pure-Python "
+        "k-NN ('knn'), or 'auto' (trees when numpy is available)",
+    )
+    explore_parser.add_argument(
+        "--no-bootstrap",
+        action="store_true",
+        help="ignore existing journal records; train only on points "
+        "simulated in this run",
+    )
+    explore_parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for simulated batches",
+    )
+    explore_parser.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="override the space's root seed",
+    )
+    explore_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="dump the exploration report as JSON",
+    )
+    explore_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-batch progress"
+    )
+    explore_parser.add_argument(
+        "--cache", action="store_true",
+        help="reuse cached sweep-point results and cache fresh ones",
+    )
+    explore_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if REPRO_CACHE is set",
+    )
+    explore_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache directory (default .repro-cache; implies --cache)",
+    )
+    _add_kernel_backend_arg(explore_parser)
+    explore_parser.set_defaults(fn=cmd_explore)
+
     cache_parser = sub.add_parser("cache", help="inspect or manage the sweep result cache")
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
     stats_parser = cache_sub.add_parser("stats", help="entry counts, sizes and recent runs")
     stats_parser.add_argument("--cache-dir", metavar="DIR", default=None)
     stats_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    journal_parser = cache_sub.add_parser(
+        "journal", help="inspect or compact the per-point training journal"
+    )
+    journal_parser.add_argument("--cache-dir", metavar="DIR", default=None)
+    journal_parser.add_argument(
+        "--compact",
+        action="store_true",
+        help="drop superseded per-point records (same fn+kwargs, older "
+        "code) and cap total journal growth",
+    )
+    journal_parser.add_argument(
+        "--max-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --compact: keep at most N records (oldest dropped first)",
+    )
+    journal_parser.add_argument("--json", action="store_true", help="machine-readable output")
     prune_parser = cache_sub.add_parser(
         "prune", help="evict least-recently-used entries beyond the limits"
     )

@@ -7,6 +7,7 @@ under :mod:`repro.harness.experiments` each regenerate one table or
 figure of the paper and are what the benchmark suite calls.
 """
 
+from repro.harness.adaptive import CrossoverSpec, ExploreSpace, explore, find_crossovers
 from repro.harness.cache import ResultCache, resolve_cache
 from repro.harness.parallel import (
     Sweep,
@@ -20,9 +21,17 @@ from repro.harness.parallel import (
     sweep_axes,
 )
 from repro.harness.report import format_series, format_table
+from repro.harness.surrogate import SurrogateSet, have_numpy, make_surrogate
 from repro.harness.testbed import SCHEMES, Testbed, TestbedConfig
 
 __all__ = [
+    "CrossoverSpec",
+    "ExploreSpace",
+    "explore",
+    "find_crossovers",
+    "SurrogateSet",
+    "make_surrogate",
+    "have_numpy",
     "Testbed",
     "TestbedConfig",
     "SCHEMES",

@@ -414,7 +414,43 @@ class ResultCache:
         self._atomic_write(path, data)
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
+        self._journal_point(entry)
         return entry["result"]
+
+    def _journal_point(self, entry: Dict[str, Any]) -> None:
+        """Append one per-point training record to the run journal.
+
+        Unlike the entry files -- which LRU-prune and invalidate on
+        code changes -- the journal accumulates every point ever
+        computed, which is exactly the training set the surrogate
+        models (:mod:`repro.harness.surrogate`) and the cost model's
+        surrogate tier learn from.  Only the numeric leaves of the
+        result are kept (capped and sorted), so records stay small and
+        deterministic.  Best-effort like every journal write.
+        """
+        from repro.harness.surrogate import flatten_numeric
+
+        record = {
+            "type": "point",
+            "at": round(float(entry["saved_at"]), 3),
+            "fingerprint": entry["fingerprint"],
+            "code_fingerprint": entry["code_fingerprint"],
+            "fn": entry["fn"],
+            "label": entry["label"],
+            "kwargs": entry["kwargs"],
+            "outputs": flatten_numeric(entry["result"]),
+            "elapsed_s": entry["elapsed_s"],
+        }
+        try:
+            line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        except (TypeError, ValueError):
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(self.root / JOURNAL_NAME, "ab") as handle:
+                handle.write(line)
+        except OSError:
+            pass
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
@@ -461,10 +497,13 @@ class ResultCache:
     def read_journal(self) -> List[dict]:
         """The run journal as a list of dicts (empty when absent).
 
-        Torn or corrupt lines (a crashed writer, a truncated disk) are
-        skipped rather than raised: journal consumers -- stats output
-        and the suite cost model -- must degrade to "no data", never
-        fail a run.
+        Two record shapes share the file: per-sweep aggregate lines
+        (:meth:`record_run`) and per-point training lines
+        (``"type": "point"``, written by :meth:`store`).  Torn or
+        corrupt lines (a crashed writer, a truncated disk) are skipped
+        rather than raised: journal consumers -- stats output, the
+        suite cost model, the surrogate trainers -- must degrade to
+        "no data", never fail a run.
         """
         path = self.root / JOURNAL_NAME
         records = []
@@ -483,6 +522,69 @@ class ResultCache:
         except OSError:
             pass
         return records
+
+    def point_records(self) -> List[dict]:
+        """Only the per-point training records, journal order."""
+        return [
+            record
+            for record in self.read_journal()
+            if record.get("type") == "point" and isinstance(record.get("kwargs"), dict)
+        ]
+
+    def compact_journal(self, max_records: Optional[int] = None) -> Dict[str, int]:
+        """Rewrite the journal, dropping superseded point records.
+
+        A point record is superseded when a *newer* record exists for
+        the same ``(fn, kwargs)`` -- the usual causes being an entry
+        recomputed after LRU pruning (duplicate fingerprint) or after
+        a code change (new ``code_fingerprint`` for the same point).
+        Only the newest survives, so the surrogate training set never
+        mixes measurements of different code versions of one point.
+
+        ``max_records`` then caps the total journal length, oldest
+        lines first -- the journal's equivalent of :meth:`prune`'s
+        mtime-LRU entry eviction.  The rewrite is atomic (same
+        temp-file + ``os.replace`` dance as entry writes), so a reader
+        racing the compaction sees either the old or the new journal,
+        never a torn one.
+        """
+        records = self.read_journal()
+        newest_by_key: Dict[str, int] = {}
+        for index, record in enumerate(records):
+            if record.get("type") != "point":
+                continue
+            key = json.dumps(
+                [record.get("fn"), record.get("kwargs")], sort_keys=True
+            )
+            newest_by_key[key] = index
+        keep_point_indices = set(newest_by_key.values())
+        kept: List[dict] = []
+        superseded = 0
+        for index, record in enumerate(records):
+            if record.get("type") == "point" and index not in keep_point_indices:
+                superseded += 1
+                continue
+            kept.append(record)
+        over_cap = 0
+        if max_records is not None and len(kept) > max_records:
+            over_cap = len(kept) - max_records
+            kept = kept[-max_records:]
+        stats = {
+            "records_before": len(records),
+            "records_kept": len(kept),
+            "dropped_superseded": superseded,
+            "dropped_over_cap": over_cap,
+        }
+        if not records and not (self.root / JOURNAL_NAME).exists():
+            return stats
+        data = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in kept
+        ).encode("utf-8")
+        try:
+            self._atomic_write(self.root / JOURNAL_NAME, data)
+        except OSError:
+            pass
+        return stats
 
     # -- maintenance ---------------------------------------------------
     def entries(self) -> List[dict]:

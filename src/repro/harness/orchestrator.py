@@ -163,18 +163,31 @@ class CostModel:
 
     Every cache entry records the seconds its point took to compute
     (``elapsed_s``); that is exactly the signal LPT scheduling needs.
-    Prediction degrades through four tiers:
+    Prediction degrades through five tiers:
 
     1. exact content-address match (same fn, kwargs and code) -- the
        recorded time itself;
-    2. mean recorded time of the same point function (parameters or
-       code changed, but the function's scale rarely moves much);
-    3. a caller-supplied per-experiment prior;
-    4. a flat default.
+    2. a per-function surrogate model
+       (:class:`~repro.harness.surrogate.SurrogateSet`) trained on the
+       cache journal's per-point records, which interpolates runtime
+       across *parameter values* (a qd=64 point near journaled qd=48
+       and qd=96 points gets a kwargs-aware estimate, not the fn-wide
+       mean);
+    3. mean recorded time of the same point function;
+    4. a caller-supplied per-experiment prior;
+    5. a flat default.
 
-    Built defensively: an absent, empty, or corrupt cache never raises
-    here -- it just pushes predictions down the tiers.
+    Built defensively: an absent, empty, or corrupt cache or journal
+    never raises here -- it just pushes predictions down the tiers.
+    ``tier_hits`` counts which tier answered each prediction.
     """
+
+    #: Fewer journal records than this and the surrogate tier is skipped
+    #: for that function (too little signal to beat the per-fn mean).
+    SURROGATE_MIN_RECORDS = 8
+
+    #: Newest journal records kept per function when training.
+    SURROGATE_MAX_RECORDS = 512
 
     def __init__(
         self,
@@ -183,12 +196,17 @@ class CostModel:
         priors: Optional[Dict[str, float]] = None,
         default_s: float = DEFAULT_POINT_COST_S,
         store: Optional[ResultCache] = None,
+        surrogates: Optional[Dict[str, Any]] = None,
     ):
         self.by_fingerprint = by_fingerprint or {}
         self.by_fn = by_fn or {}
         self.priors = priors or {}
         self.default_s = default_s
         self._store = store
+        self.surrogates = surrogates or {}
+        self.tier_hits = {
+            "exact": 0, "surrogate": 0, "by_fn": 0, "prior": 0, "default": 0,
+        }
 
     @classmethod
     def from_cache(
@@ -196,6 +214,7 @@ class CostModel:
         store: Optional[ResultCache],
         priors: Optional[Dict[str, float]] = None,
         default_s: float = DEFAULT_POINT_COST_S,
+        surrogate: bool = True,
     ) -> "CostModel":
         by_fingerprint: Dict[str, float] = {}
         sums: Dict[str, Tuple[float, int]] = {}
@@ -212,13 +231,55 @@ class CostModel:
                 total, count = sums.get(entry.get("fn", "?"), (0.0, 0))
                 sums[entry.get("fn", "?")] = (total + float(elapsed), count + 1)
         by_fn = {fn: total / count for fn, (total, count) in sums.items() if count}
+        surrogates = cls._train_surrogates(store) if surrogate else {}
         return cls(
             by_fingerprint=by_fingerprint,
             by_fn=by_fn,
             priors=priors,
             default_s=default_s,
             store=store,
+            surrogates=surrogates,
         )
+
+    @staticmethod
+    def _train_surrogates(store: Optional[ResultCache]) -> Dict[str, Any]:
+        """Per-fn elapsed_s surrogates from journal point records.
+
+        Never raises: missing numpy falls back to the pure-Python
+        k-NN inside :class:`SurrogateSet`, and any journal corruption
+        or training failure just drops that function back to tier 3.
+        """
+        if store is None:
+            return {}
+        try:
+            from repro.harness.surrogate import SurrogateSet, journal_records
+
+            per_fn: Dict[str, List[Tuple[Dict[str, Any], Dict[str, float]]]] = {}
+            for record in journal_records(store):
+                fn = record.get("fn")
+                elapsed = record.get("elapsed_s")
+                if not isinstance(fn, str) or not isinstance(elapsed, (int, float)):
+                    continue
+                if elapsed < 0:
+                    continue
+                per_fn.setdefault(fn, []).append(
+                    (record["kwargs"], {"elapsed_s": float(elapsed)})
+                )
+        except Exception:
+            return {}
+        surrogates: Dict[str, Any] = {}
+        for fn, records in per_fn.items():
+            if len(records) < CostModel.SURROGATE_MIN_RECORDS:
+                continue
+            try:
+                surrogates[fn] = SurrogateSet.fit(
+                    records[-CostModel.SURROGATE_MAX_RECORDS:],
+                    targets=("elapsed_s",),
+                    seed=0,
+                )
+            except Exception:
+                continue
+        return surrogates
 
     def predict(self, point: SweepPoint, experiment: Optional[str] = None) -> float:
         """Predicted seconds for ``point`` (never raises)."""
@@ -235,21 +296,36 @@ class CostModel:
             if fingerprint is not None:
                 exact = self.by_fingerprint.get(fingerprint)
                 if exact is not None:
+                    self.tier_hits["exact"] += 1
                     return exact
         fn_name = f"{getattr(point.fn, '__module__', '?')}:{getattr(point.fn, '__qualname__', '?')}"
+        surrogate = self.surrogates.get(fn_name)
+        if surrogate is not None:
+            try:
+                means, _ = surrogate.predict([point.kwargs])["elapsed_s"]
+                predicted = float(means[0])
+                if predicted == predicted and predicted != float("inf"):
+                    self.tier_hits["surrogate"] += 1
+                    return max(0.0, predicted)
+            except Exception:
+                pass
         by_fn = self.by_fn.get(fn_name)
         if by_fn is not None:
+            self.tier_hits["by_fn"] += 1
             return by_fn
         if experiment is not None:
             prior = self.priors.get(experiment)
             if prior is not None:
+                self.tier_hits["prior"] += 1
                 return prior
+        self.tier_hits["default"] += 1
         return self.default_s
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CostModel(exact={len(self.by_fingerprint)}, fns={len(self.by_fn)}, "
-            f"priors={len(self.priors)}, default={self.default_s}s)"
+            f"surrogates={len(self.surrogates)}, priors={len(self.priors)}, "
+            f"default={self.default_s}s)"
         )
 
 
@@ -436,6 +512,12 @@ def run_suite(
             own_pool = True
     else:
         effective_jobs = pool.jobs
+        if effective_jobs <= 1:
+            # A one-worker pool buys no parallelism, only per-unit
+            # pickling and IPC round-trips.  Take the in-process path
+            # instead (the caller's pool is untouched -- its lazy
+            # executor is never spawned by us and never closed).
+            pool = None
 
     states: List[_ExpState] = []
     futures: Dict[Any, List[Tuple[int, int]]] = {}

@@ -248,8 +248,14 @@ def run_sweep(
     if len(set(indices)) != len(indices):
         raise ValueError("sweep points must have unique indices")
     if pool is not None and executor is None:
-        executor = pool.executor
-        jobs = pool.jobs
+        if pool.jobs <= 1:
+            # Degenerate one-worker pool: a worker round-trip buys no
+            # parallelism, only pickling and IPC.  Run in-process (the
+            # pool's lazy executor is never even spawned).
+            jobs = 1
+        else:
+            executor = pool.executor
+            jobs = pool.jobs
     jobs_requested = jobs
     jobs = _clamp_jobs(jobs)
     store: Optional[ResultCache] = resolve_cache(cache)

@@ -252,11 +252,17 @@ class TestRunSweepIntegration:
         sweep_points = self._points(3)
         run_sweep(sweep_points, cache=cache, name="alpha")
         run_sweep(sweep_points, cache=cache, name="alpha")
-        journal = cache.read_journal()
+        journal = [record for record in cache.read_journal() if "sweep" in record]
         assert [record["sweep"] for record in journal] == ["alpha", "alpha"]
         assert journal[0]["misses"] == 3 and journal[0]["hits"] == 0
         assert journal[1]["hits"] == 3 and journal[1]["misses"] == 0
         assert journal[1]["seconds_saved"] >= 0.0
+        # Each computed point also journals a training record; cache
+        # hits on the second sweep do not re-journal.
+        points = cache.point_records()
+        assert len(points) == 3
+        assert all(record["type"] == "point" for record in points)
+        assert all("outputs" in record and "elapsed_s" in record for record in points)
 
     def test_sweep_run_accepts_cache(self, tmp_path):
         sweep = Sweep("mini")
@@ -332,3 +338,70 @@ class TestCacheStats:
         assert delta["hits"] == 3
         assert delta["seconds_saved"] == pytest.approx(1.5)
         assert delta["misses"] == 0
+
+
+class TestCompactJournal:
+    def _fill(self, cache, n=3):
+        points = [make_point(point_fn, index=i, label=f"x={i}", x=i) for i in range(n)]
+        run_sweep(points, cache=cache, name="fill")
+
+    def test_superseded_points_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        self._fill(cache)
+        # Recomputing after pruning appends duplicate (fn, kwargs)
+        # records; only the newest of each pair must survive.
+        cache.prune(max_entries=0)
+        self._fill(cache)
+        assert len(cache.point_records()) == 6
+        stats = cache.compact_journal()
+        assert stats["dropped_superseded"] == 3
+        assert len(cache.point_records()) == 3
+
+    def test_sweep_records_survive(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        self._fill(cache)
+        sweeps_before = [r for r in cache.read_journal() if "sweep" in r]
+        cache.compact_journal()
+        sweeps_after = [r for r in cache.read_journal() if "sweep" in r]
+        assert sweeps_after == sweeps_before
+
+    def test_max_records_caps_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        self._fill(cache, n=5)
+        stats = cache.compact_journal(max_records=2)
+        assert stats["dropped_over_cap"] > 0
+        records = cache.read_journal()
+        assert len(records) == 2
+        # The newest point records are the survivors.
+        kept = [r["kwargs"]["x"] for r in records if r.get("type") == "point"]
+        assert kept == sorted(kept) and kept[-1] == 4
+
+    def test_stats_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        self._fill(cache, n=4)
+        before = len(cache.read_journal())
+        stats = cache.compact_journal()
+        assert stats["records_before"] == before
+        assert stats["records_kept"] == before - stats["dropped_superseded"] - stats["dropped_over_cap"]
+
+    def test_missing_journal_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        stats = cache.compact_journal()
+        assert stats == {
+            "records_before": 0,
+            "records_kept": 0,
+            "dropped_superseded": 0,
+            "dropped_over_cap": 0,
+        }
+        assert not (cache.root / "journal.jsonl").exists()
+
+    def test_corrupt_lines_removed_by_rewrite(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        self._fill(cache, n=2)
+        journal = cache.root / "journal.jsonl"
+        journal.write_text(
+            journal.read_text(encoding="utf-8") + "{torn line\n", encoding="utf-8"
+        )
+        cache.compact_journal()
+        for line in journal.read_text(encoding="utf-8").splitlines():
+            json.loads(line)

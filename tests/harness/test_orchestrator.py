@@ -325,3 +325,100 @@ class TestSchedulingNeverChangesResults:
     def test_pool_reuse_across_examples_preserves_results(self, batch_max):
         suite = run_suite([ALPHA, BETA], pool=self.POOL, cache=False, batch_max=batch_max)
         assert _canonical(suite.results) == self._reference()
+
+class TestCostModelSurrogateTier:
+    """Tier 2: a per-fn surrogate over journal records answers unseen
+    kwargs; every failure mode degrades to the tiers below, never
+    raises."""
+
+    @staticmethod
+    def _warm(tmp_path, n=10):
+        store = ResultCache(tmp_path / "cache")
+        for i in range(n):
+            point = SweepPoint(index=i, label=f"v={i}", fn=_calc, kwargs={"value": i})
+            store.store(point, {"value": i}, elapsed_s=0.1 * (i + 1))
+        return store
+
+    @staticmethod
+    def _fn_name():
+        return f"{_calc.__module__}:{_calc.__qualname__}"
+
+    def test_unseen_kwargs_hit_surrogate_not_fn_mean(self, tmp_path):
+        model = CostModel.from_cache(self._warm(tmp_path))
+        fresh = SweepPoint(index=99, label="v=99", fn=_calc, kwargs={"value": 99})
+        predicted = model.predict(fresh)
+        assert model.tier_hits["surrogate"] == 1
+        assert model.tier_hits["by_fn"] == 0
+        assert predicted >= 0.0
+        # An exact replay still short-circuits at tier 1.
+        exact = SweepPoint(index=0, label="v=0", fn=_calc, kwargs={"value": 0})
+        model.predict(exact)
+        assert model.tier_hits["exact"] == 1
+
+    def test_surrogate_tracks_kwargs_scaling(self, tmp_path):
+        # elapsed grows with value; the flat per-fn mean cannot see that.
+        model = CostModel.from_cache(self._warm(tmp_path, n=16))
+        lo = model.predict(SweepPoint(index=0, label="a", fn=_calc, kwargs={"value": 1.5}))
+        hi = model.predict(SweepPoint(index=1, label="b", fn=_calc, kwargs={"value": 14.5}))
+        assert hi > lo
+
+    def test_below_min_records_falls_back_to_fn_mean(self, tmp_path):
+        model = CostModel.from_cache(self._warm(tmp_path, n=4))
+        assert model.surrogates == {}
+        fresh = SweepPoint(index=77, label="v=77", fn=_calc, kwargs={"value": 77})
+        model.predict(fresh)
+        assert model.tier_hits["by_fn"] == 1
+
+    def test_surrogate_flag_disables_training(self, tmp_path):
+        model = CostModel.from_cache(self._warm(tmp_path), surrogate=False)
+        assert model.surrogates == {}
+
+    def test_numpyless_training_uses_knn_fallback(self, tmp_path, monkeypatch):
+        from repro.harness import surrogate as surrogate_mod
+
+        monkeypatch.setattr(surrogate_mod, "_HAVE_NUMPY", False)
+        model = CostModel.from_cache(self._warm(tmp_path))
+        assert model.surrogates[self._fn_name()].backend == "knn"
+        fresh = SweepPoint(index=50, label="v=50", fn=_calc, kwargs={"value": 50})
+        assert model.predict(fresh) >= 0.0
+        assert model.tier_hits["surrogate"] == 1
+
+    def test_hostile_surrogate_degrades_to_fn_mean(self):
+        class _Hostile:
+            def predict(self, kwargs_list):
+                raise RuntimeError("model on fire")
+
+        model = CostModel(
+            by_fn={self._fn_name(): 2.5}, surrogates={self._fn_name(): _Hostile()}
+        )
+        point = SweepPoint(index=0, label="v=0", fn=_calc, kwargs={"value": 0})
+        assert model.predict(point) == 2.5
+        assert model.tier_hits["by_fn"] == 1
+        assert model.tier_hits["surrogate"] == 0
+
+    def test_corrupt_journal_degrades_to_lower_tiers(self, tmp_path):
+        store = self._warm(tmp_path)
+        (store.root / "journal.jsonl").write_text("garbage\n", encoding="utf-8")
+        model = CostModel.from_cache(store)  # must not raise
+        assert model.surrogates == {}
+
+
+class TestSingleWorkerBypass:
+    """jobs<=1 must never pay pool round-trips: the lazy executor stays
+    unspawned and results match the serial path exactly."""
+
+    def test_run_sweep_never_spawns_executor(self):
+        from tests.harness.fake_experiments import sweep
+
+        pool = WorkerPool(1)
+        rows = sweep(n=4).run(pool=pool, cache=False)
+        assert pool._executor is None
+        assert rows == sweep(n=4).run(jobs=1, cache=False)
+
+    def test_run_suite_never_spawns_executor(self):
+        pool = WorkerPool(1)
+        suite = run_suite([ALPHA, BETA], pool=pool, cache=False)
+        assert pool._executor is None
+        serial = run_suite_serial([ALPHA, BETA], cache=False)
+        assert _canonical(suite.results) == _canonical(serial)
+        pool.close()

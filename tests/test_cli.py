@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -174,3 +176,88 @@ class TestCliSimulate:
     def test_parser_rejects_bad_io_size(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--io-kb", "7"])
+
+
+class TestParseGridValues:
+    def test_comma_list_preserves_ints(self):
+        from repro.cli import _parse_grid_values
+
+        assert _parse_grid_values("1,2,16") == [1, 2, 16]
+        assert _parse_grid_values("0.5,1.0") == [0.5, 1.0]
+
+    def test_range_expansion(self):
+        from repro.cli import _parse_grid_values
+
+        assert _parse_grid_values("1:5:3") == [1, 3, 5]
+        assert _parse_grid_values("0:1:3") == [0.0, 0.5, 1.0]
+
+    def test_bad_range_rejected(self):
+        from repro.cli import _parse_grid_values
+
+        with pytest.raises(ValueError):
+            _parse_grid_values("1:5")
+        with pytest.raises(ValueError):
+            _parse_grid_values("1:5:1")
+
+
+class TestCliExplore:
+    TINY = [
+        "--grid", "qd=1,8,64",
+        "--grid", "read_ratio=1.0",
+        "--grid", "io_pages=1",
+        "--budget", "1.0",
+        "--no-cache",
+        "--quiet",
+    ]
+
+    def test_explore_tiny_grid(self, capsys):
+        assert main(["explore", "fig04", *self.TINY]) == 0
+        out = capsys.readouterr().out
+        assert "explored fig04-interference" in out
+        assert "crossover" in out
+
+    def test_explore_writes_json_report(self, tmp_path, capsys):
+        report_path = str(tmp_path / "report.json")
+        assert main(["explore", "fig04", *self.TINY, "--json", report_path]) == 0
+        report = json.loads((tmp_path / "report.json").read_text(encoding="utf-8"))
+        assert report["space"] == "fig04-interference"
+        assert report["grid_points"] == 3
+        assert report["simulated"] <= 3
+
+    def test_unknown_axis_rejected(self, capsys):
+        assert main(["explore", "fig04", "--grid", "bogus=1,2", "--no-cache"]) == 2
+        assert "not one of" in capsys.readouterr().err
+
+    def test_bad_axis_values_rejected(self, capsys):
+        assert main(["explore", "fig04", "--grid", "qd=1:5", "--no-cache"]) == 2
+        assert "bad --grid" in capsys.readouterr().err
+
+    def test_non_explorable_experiment_rejected(self, capsys):
+        assert main(["explore", "fig02", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "explore_space" in err and "fig04" in err
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["explore", "fig999"]) == 2
+
+
+class TestCliCacheJournal:
+    def test_journal_summary_and_compact(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "fig02", "--quick", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "journal", "--cache-dir", cache_dir, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["point_records"] > 0
+        assert summary["sweep_runs"] >= 1
+        # Recompute after pruning entries (prune keeps the journal,
+        # clear would drop it): journal doubles up, compact dedupes.
+        assert main(["cache", "prune", "--cache-dir", cache_dir, "--max-entries", "0"]) == 0
+        assert main(["run", "fig02", "--quick", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "journal", "--cache-dir", cache_dir, "--compact", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["dropped_superseded"] == summary["point_records"]
+        assert main(["cache", "journal", "--cache-dir", cache_dir, "--json"]) == 0
+        after = json.loads(capsys.readouterr().out)
+        assert after["point_records"] == summary["point_records"]
